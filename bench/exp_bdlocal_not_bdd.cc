@@ -1,0 +1,88 @@
+// Experiment E7 (Example 41): E3(x,y,z), R(x,z) -> R(y,z) is
+// bounded-degree local but not BDD.
+//   * non-BDD: the rewriting of the atomic R-query keeps growing - the
+//     rewriting set size increases with the iteration budget and never
+//     drains;
+//   * bd-local: on random instances of bounded degree the minimal
+//     locality constant stays small as instances grow.
+
+#include <cstdio>
+#include <string>
+
+#include "base/vocabulary.h"
+#include "bench/report.h"
+#include "catalog/instances.h"
+#include "catalog/theories.h"
+#include "chase/chase.h"
+#include "gaifman/gaifman.h"
+#include "props/locality.h"
+#include "rewriting/rewriter.h"
+
+namespace frontiers {
+namespace {
+
+ChaseOptions Rounds(uint32_t n) {
+  ChaseOptions options;
+  options.max_rounds = n;
+  return options;
+}
+
+void Run() {
+  bench::Section("E7a: Example 41 is not BDD - rewriting never drains");
+  bench::Table growth({"iteration budget", "status", "rewriting set size",
+                       "max disjunct size"});
+  for (uint32_t budget : {20u, 60u, 120u, 240u}) {
+    Vocabulary vocab;
+    Theory ex41 = Example41Theory(vocab);
+    Rewriter rewriter(vocab, ex41);
+    RewritingOptions options;
+    options.max_iterations = budget;
+    options.max_queries = 100000;
+    options.max_atoms_per_query = 64;
+    RewritingResult rew = rewriter.RewriteAtomicQuery(
+        vocab.FindPredicate("R").value(), options);
+    growth.AddRow(
+        {std::to_string(budget),
+         rew.status == RewritingStatus::kConverged ? "converged" : "budget",
+         std::to_string(rew.queries.size()),
+         std::to_string(rew.MaxDisjunctSize())});
+  }
+  growth.Print();
+
+  bench::Section("E7b: ... but bounded-degree local (degree cap 2)");
+  bench::Table locality({"instance atoms", "max degree",
+                         "minimal locality constant"});
+  for (uint32_t atoms : {6u, 10u, 14u, 18u}) {
+    Vocabulary vocab;
+    Theory ex41 = Example41Theory(vocab);
+    ChaseEngine engine(vocab, ex41);
+    // Bounded-degree random instances over the rule's two predicates.
+    FactSet db = RandomBinaryInstance(vocab, {"R"}, atoms, atoms / 2,
+                                      atoms * 17 + 3, /*max_degree=*/2);
+    // Add a few ternary E3 atoms chaining R-pairs, still degree-bounded.
+    PredicateId e3 = vocab.AddPredicate("E3", 3);
+    const auto& domain = db.Domain();
+    for (size_t i = 0; i + 2 < domain.size(); i += 3) {
+      db.Insert(Atom(e3, {domain[i], domain[i + 1], domain[i + 2]}));
+    }
+    std::optional<uint32_t> l =
+        MinimalLocalityConstant(vocab, engine, db, Rounds(3), Rounds(5));
+    GaifmanGraph graph(db);
+    locality.AddRow({std::to_string(db.size()),
+                     std::to_string(graph.MaxDegree()),
+                     l.has_value() ? std::to_string(*l) : "> |D|"});
+  }
+  locality.Print();
+  std::printf(
+      "Shape check: the rewriting set grows with the budget and never\n"
+      "converges (non-BDD), while the locality constant stays flat on\n"
+      "bounded-degree instances (bd-local; Definition 40).\n");
+}
+
+}  // namespace
+}  // namespace frontiers
+
+int main() {
+  frontiers::Run();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Experiment E10 (Theorem 3 + Observation 31): binary BDD theories are
+// local and admit *linear-size* rewritings - rs_T(psi) <= l_T * |psi|.
+// Measures rs_T across growing path queries for three binary theories and
+// contrasts the exponential disjunct size of T_d (which is binary but
+// multi-head-encoded through an arity-3 predicate, escaping Theorem 3).
+
+#include <cstdio>
+#include <string>
+
+#include "base/vocabulary.h"
+#include "bench/report.h"
+#include "catalog/queries.h"
+#include "catalog/theories.h"
+#include "frontier/process.h"
+#include "rewriting/rewriter.h"
+#include "tgd/parser.h"
+
+namespace frontiers {
+namespace {
+
+void Run() {
+  bench::Section("E10: linear rewriting size for binary BDD theories");
+  bench::Table table({"theory", "|psi| (path length)", "rs_T(psi)",
+                      "rs / |psi|", "status"});
+
+  struct Probe {
+    std::string name;
+    std::string rules;
+    std::string predicate;  // the path predicate to query
+  };
+  for (const Probe& probe : {
+           Probe{"T_p (linear)", "E(x,y) -> exists z . E(y,z)", "E"},
+           Probe{"T_a (guarded)",
+                 "Human(y) -> exists z . Mother(y,z)\n"
+                 "Mother(x,y) -> Human(y)",
+                 "Mother"},
+           Probe{"two-step",
+                 "E(x,y) -> exists z . F(y,z)\nF(x,y) -> exists z . E(y,z)",
+                 "E"},
+       }) {
+    for (uint32_t k = 1; k <= 5; ++k) {
+      Vocabulary vocab;
+      Result<Theory> theory = ParseTheory(vocab, probe.rules, probe.name);
+      if (!theory.ok()) continue;
+      Rewriter rewriter(vocab, theory.value());
+      ConjunctiveQuery q = PathQuery(vocab, probe.predicate, k);
+      RewritingOptions options;
+      options.max_iterations = 4000;
+      RewritingResult rew = rewriter.Rewrite(q, options);
+      char ratio[32];
+      std::snprintf(ratio, sizeof(ratio), "%.2f",
+                    static_cast<double>(rew.MaxDisjunctSize()) / k);
+      table.AddRow({probe.name, std::to_string(k),
+                    std::to_string(rew.MaxDisjunctSize()), ratio,
+                    rew.status == RewritingStatus::kConverged ? "converged"
+                                                              : "budget"});
+    }
+  }
+  table.Print();
+
+  bench::Section("Contrast: T_d disjunct size is exponential (Theorem 5)");
+  bench::Table contrast({"query", "|phi|", "max disjunct", "ratio"});
+  for (uint32_t n = 1; n <= 3; ++n) {
+    Vocabulary vocab;
+    TdContext ctx = TdContext::Make(vocab);
+    ConjunctiveQuery phi = PhiRn(vocab, n);
+    TdProcessOptions options;
+    options.max_steps = 2'000'000;
+    options.max_queries = 4'000'000;
+    TdProcessResult result = RunTdProcess(vocab, ctx, phi, options);
+    size_t max_size = 0;
+    for (const ConjunctiveQuery& d : result.rewriting) {
+      max_size = std::max(max_size, d.size());
+    }
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.2f",
+                  static_cast<double>(max_size) / phi.size());
+    contrast.AddRow({"phi_R^" + std::to_string(n),
+                     std::to_string(phi.size()), std::to_string(max_size),
+                     ratio});
+  }
+  contrast.Print();
+  std::printf(
+      "Shape check: rs/|psi| stays flat (<= a small l_T) for the binary\n"
+      "single-head theories, exactly Observation 31; the T_d ratio doubles\n"
+      "with each n - footnote 7's point that locality, not decidability,\n"
+      "is what forces small rewritings.\n");
+}
+
+}  // namespace
+}  // namespace frontiers
+
+int main() {
+  frontiers::Run();
+  return 0;
+}

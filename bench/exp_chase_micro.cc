@@ -1,0 +1,107 @@
+// Experiment E14: chase engine micro-benchmarks (google-benchmark).
+// Measures raw engine throughput on the paper's workloads and the two
+// design ablations called out in DESIGN.md:
+//   * semi-naive delta evaluation vs naive re-evaluation,
+//   * the T_d witness strategy vs the unfiltered exploding chase.
+
+#include <benchmark/benchmark.h>
+
+#include "base/vocabulary.h"
+#include "catalog/instances.h"
+#include "catalog/strategies.h"
+#include "catalog/theories.h"
+#include "chase/chase.h"
+#include "tgd/parser.h"
+
+namespace frontiers {
+namespace {
+
+void BM_LinearChase(benchmark::State& state) {
+  const uint32_t rounds = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Vocabulary vocab;
+    Theory t_p = ForwardPathTheory(vocab);
+    ChaseEngine engine(vocab, t_p);
+    FactSet db = RandomBinaryInstance(vocab, {"E"}, 20, 40, 99);
+    ChaseResult result = engine.RunToDepth(db, rounds);
+    benchmark::DoNotOptimize(result.facts.size());
+    state.counters["atoms"] = static_cast<double>(result.facts.size());
+  }
+}
+BENCHMARK(BM_LinearChase)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DatalogClosure(benchmark::State& state) {
+  const uint32_t path = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Vocabulary vocab;
+    Result<Theory> trans =
+        ParseTheory(vocab, "E(x,y), E(y,z) -> E(x,z)");
+    ChaseEngine engine(vocab, trans.value());
+    FactSet db = EdgePath(vocab, "E", path, "a");
+    ChaseResult result = engine.RunToDepth(db, 32);
+    benchmark::DoNotOptimize(result.facts.size());
+    state.counters["atoms"] = static_cast<double>(result.facts.size());
+  }
+}
+BENCHMARK(BM_DatalogClosure)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SemiNaiveAblation(benchmark::State& state) {
+  const bool semi_naive = state.range(0) != 0;
+  for (auto _ : state) {
+    Vocabulary vocab;
+    Result<Theory> trans =
+        ParseTheory(vocab, "E(x,y), E(y,z) -> E(x,z)");
+    ChaseEngine engine(vocab, trans.value());
+    FactSet db = EdgePath(vocab, "E", 24, "a");
+    ChaseOptions options;
+    options.max_rounds = 32;
+    options.semi_naive = semi_naive;
+    ChaseResult result = engine.Run(db, options);
+    benchmark::DoNotOptimize(result.facts.size());
+  }
+}
+BENCHMARK(BM_SemiNaiveAblation)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"semi_naive"});
+
+void BM_TdStrategyAblation(benchmark::State& state) {
+  const bool filtered = state.range(0) != 0;
+  const uint32_t rounds = 8;  // unfiltered doubles per round: keep small
+  for (auto _ : state) {
+    Vocabulary vocab;
+    Theory td = TdTheory(vocab);
+    ChaseEngine engine(vocab, td);
+    FactSet db = EdgePath(vocab, "G", 8, "a");
+    ChaseOptions options;
+    options.max_rounds = rounds;
+    options.max_atoms = 2'000'000;
+    if (filtered) options.filter = TdWitnessStrategy(vocab, td);
+    ChaseResult result = engine.Run(db, options);
+    benchmark::DoNotOptimize(result.facts.size());
+    state.counters["atoms"] = static_cast<double>(result.facts.size());
+  }
+}
+BENCHMARK(BM_TdStrategyAblation)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"strategy"});
+
+void BM_Example39Chase(benchmark::State& state) {
+  const uint32_t colors = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    Vocabulary vocab;
+    Theory ex39 = StickyExample39Theory(vocab);
+    ChaseEngine engine(vocab, ex39);
+    FactSet db = Star39Instance(vocab, colors);
+    ChaseResult result = engine.RunToDepth(db, colors);
+    benchmark::DoNotOptimize(result.facts.size());
+    state.counters["atoms"] = static_cast<double>(result.facts.size());
+  }
+}
+BENCHMARK(BM_Example39Chase)->Arg(3)->Arg(4)->Arg(5);
+
+}  // namespace
+}  // namespace frontiers
+
+BENCHMARK_MAIN();

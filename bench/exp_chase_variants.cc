@@ -1,0 +1,86 @@
+// Ablation: semi-oblivious vs restricted chase (footnote 19).  The paper's
+// termination notions are stated for the semi-oblivious chase; the
+// restricted (standard) chase can terminate strictly more often, which is
+// exactly why Definition 21's necessary/sufficient remark needs care.
+
+#include <cstdio>
+#include <string>
+
+#include "base/vocabulary.h"
+#include "bench/report.h"
+#include "catalog/instances.h"
+#include "catalog/theories.h"
+#include "chase/chase.h"
+#include "tgd/parser.h"
+
+namespace frontiers {
+namespace {
+
+struct Probe {
+  std::string name;
+  std::string rules;
+  std::string facts;
+};
+
+void Run() {
+  bench::Section("Ablation: semi-oblivious vs restricted chase");
+  bench::Table table({"theory", "instance", "semi-oblivious", "atoms",
+                      "restricted", "atoms"});
+  const Probe probes[] = {
+      {"step+sym",
+       "E(x,y) -> exists z . E(y,z)\nE(x,y) -> E(y,x)",
+       "E(A,B)"},
+      {"T_p", "E(x,y) -> exists z . E(y,z)", "E(A,B)"},
+      {"Ex23",
+       "E(x,y) -> exists z . E(y,z)\nE(x,x1), E(x1,x2) -> E(x1,x1)",
+       "E(A,B)"},
+      {"T_a",
+       "Human(y) -> exists z . Mother(y,z)\nMother(x,y) -> Human(y)",
+       "Human(Abel)"},
+      {"dept",
+       "Employee(x) -> exists d . WorksIn(x,d)\n"
+       "WorksIn(x,d) -> exists h . HeadOf(h,d)\n"
+       "HeadOf(h,d) -> Employee(h)",
+       "Employee(Ada)"},
+  };
+  for (const Probe& probe : probes) {
+    Vocabulary vocab;
+    Result<Theory> theory = ParseTheory(vocab, probe.rules, probe.name);
+    Result<FactSet> db = ParseFacts(vocab, probe.facts);
+    if (!theory.ok() || !db.ok()) continue;
+    ChaseEngine engine(vocab, theory.value());
+
+    ChaseOptions semi;
+    semi.max_rounds = 10;
+    semi.max_atoms = 100000;
+    ChaseResult oblivious = engine.Run(db.value(), semi);
+
+    ChaseOptions restricted = semi;
+    restricted.variant = ChaseVariant::kRestricted;
+    ChaseResult standard = engine.Run(db.value(), restricted);
+
+    auto verdict = [](const ChaseResult& result) {
+      return result.Terminated()
+                 ? "terminates@" + std::to_string(result.complete_rounds)
+                 : std::string("runs on");
+    };
+    table.AddRow({probe.name, probe.facts, verdict(oblivious),
+                  std::to_string(oblivious.facts.size()), verdict(standard),
+                  std::to_string(standard.facts.size())});
+  }
+  table.Print();
+  std::printf(
+      "Shape check: on step+sym the restricted chase terminates after one\n"
+      "round (the symmetric edge witnesses the head) while the\n"
+      "semi-oblivious chase invents forever; on Ex23 even the restricted\n"
+      "chase runs on, yet the theory Core-Terminates with c = 2 - the\n"
+      "termination notions of Section 5 are genuinely distinct.\n");
+}
+
+}  // namespace
+}  // namespace frontiers
+
+int main() {
+  frontiers::Run();
+  return 0;
+}

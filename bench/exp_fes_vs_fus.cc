@@ -1,0 +1,79 @@
+// Experiment E8 (Exercises 12, 22, 23): the FUS/FES landscape on the
+// paper's two running examples.
+//   * T_p (Exercise 12): BDD - rewritings converge with linear disjunct
+//     size - but NOT Core-Terminating (Exercise 22): no chase stage
+//     contains a model.
+//   * Exercise 23's theory: Core-Terminating with a uniform c_{T,D} = 2,
+//     but not All-Instances-Terminating: the chase itself never reaches a
+//     fixpoint.
+
+#include <cstdio>
+#include <string>
+
+#include "base/vocabulary.h"
+#include "bench/report.h"
+#include "catalog/instances.h"
+#include "catalog/queries.h"
+#include "catalog/theories.h"
+#include "chase/chase.h"
+#include "props/termination.h"
+#include "rewriting/rewriter.h"
+
+namespace frontiers {
+namespace {
+
+void Run() {
+  bench::Section("E8a: T_p is BDD (rewritings converge, linear size)");
+  bench::Table bdd({"path query length k", "status", "disjuncts",
+                    "max disjunct size"});
+  for (uint32_t k = 1; k <= 5; ++k) {
+    Vocabulary vocab;
+    Theory t_p = ForwardPathTheory(vocab);
+    Rewriter rewriter(vocab, t_p);
+    ConjunctiveQuery q = PathQuery(vocab, "E", k);
+    RewritingResult rew = rewriter.Rewrite(q);
+    bdd.AddRow(
+        {std::to_string(k),
+         rew.status == RewritingStatus::kConverged ? "converged" : "budget",
+         std::to_string(rew.queries.size()),
+         std::to_string(rew.MaxDisjunctSize())});
+  }
+  bdd.Print();
+
+  bench::Section("E8b: ... but T_p does not Core-Terminate (Exercise 22)");
+  bench::Table fes({"theory", "instance", "chase fixpoint",
+                    "core termination", "c_{T,D}"});
+  auto probe = [&fes](const std::string& label, Theory (*make)(Vocabulary&),
+                      uint32_t path_length) {
+    Vocabulary vocab;
+    Theory theory = make(vocab);
+    ChaseEngine engine(vocab, theory);
+    FactSet db = EdgePath(vocab, "E", path_length, "a");
+    ChaseOptions options;
+    options.max_rounds = 10;
+    CoreTerminationReport report =
+        TestCoreTermination(vocab, engine, db, options);
+    fes.AddRow({label, "E-path of " + std::to_string(path_length),
+                bench::YesNo(report.chase_terminated),
+                bench::YesNo(report.core_terminates),
+                report.core_terminates ? std::to_string(report.n) : "-"});
+  };
+  for (uint32_t len = 1; len <= 4; ++len) probe("T_p", ForwardPathTheory, len);
+  for (uint32_t len = 1; len <= 4; ++len) {
+    probe("Ex23", Exercise23Theory, len);
+  }
+  fes.Print();
+  std::printf(
+      "Shape check: T_p never core-terminates (FUS without FES); the\n"
+      "Exercise 23 theory core-terminates at the uniform depth 2 on every\n"
+      "instance while its chase runs forever (FES without all-instances\n"
+      "termination) - exactly the quadrant structure of Sections 4-5.\n");
+}
+
+}  // namespace
+}  // namespace frontiers
+
+int main() {
+  frontiers::Run();
+  return 0;
+}

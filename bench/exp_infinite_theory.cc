@@ -1,0 +1,62 @@
+// Experiment E12 (Example 28): with an infinite signature the FUS/FES
+// conjecture fails.  The theory { E_i(x,y) -> exists z E_{i-1}(y,z) } is
+// BDD and core-terminating, but no uniform bound c works: the instance
+// {E_{c+1}(a,b)} needs c+1 chase rounds before the E_0-query fires.
+// We realize the K-truncation and defeat every candidate bound c <= K-1.
+
+#include <cstdio>
+#include <string>
+
+#include "base/vocabulary.h"
+#include "bench/report.h"
+#include "catalog/theories.h"
+#include "chase/chase.h"
+#include "props/bounded_depth.h"
+#include "props/termination.h"
+#include "tgd/parser.h"
+
+namespace frontiers {
+namespace {
+
+void Run() {
+  const uint32_t kLevels = 6;
+  bench::Section("E12: Example 28 truncated to " + std::to_string(kLevels) +
+                 " levels");
+
+  bench::Table table({"candidate uniform bound c", "defeating instance",
+                      "satisfaction depth of E0-query", "c_{T,D}",
+                      "bound defeated"});
+  for (uint32_t c = 1; c + 1 <= kLevels; ++c) {
+    Vocabulary vocab;
+    Theory ex28 = TruncatedInfiniteTheory(vocab, kLevels);
+    ChaseEngine engine(vocab, ex28);
+    std::string level = "E" + std::to_string(c + 1);
+    Result<FactSet> db = ParseFacts(vocab, level + "(A,B)");
+    Result<ConjunctiveQuery> query = ParseQuery(vocab, "E0(x,y)");
+    if (!db.ok() || !query.ok()) continue;
+    ChaseOptions options;
+    options.max_rounds = kLevels + 2;
+    std::optional<uint32_t> depth = SatisfactionDepth(
+        vocab, engine, db.value(), query.value(), {}, options);
+    CoreTerminationReport core =
+        TestCoreTermination(vocab, engine, db.value(), options);
+    table.AddRow({std::to_string(c), level + "(A,B)",
+                  depth.has_value() ? std::to_string(*depth) : "-",
+                  core.core_terminates ? std::to_string(core.n) : "-",
+                  bench::YesNo(depth.has_value() && *depth > c)});
+  }
+  table.Print();
+  std::printf(
+      "Shape check: each candidate bound c is defeated by the instance one\n"
+      "level up - with infinitely many levels no uniform c exists even\n"
+      "though every *instance* core-terminates (each instance only sees\n"
+      "finitely many relations).  The conjecture needs finite theories.\n");
+}
+
+}  // namespace
+}  // namespace frontiers
+
+int main() {
+  frontiers::Run();
+  return 0;
+}

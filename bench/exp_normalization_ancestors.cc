@@ -1,0 +1,88 @@
+// Experiment E11 (Example 66 + Lemma 77): ancestor-set blow-up and its
+// cure by normalization.
+//   * Under T (Example 66) with an adversarial parent choice, the
+//     ancestor sets of the E-chain atoms absorb all M paint facts:
+//     unbounded in |D| (this is why the naive Lemma 65 is false).
+//   * Under T_NF the disconnected paint facts hide behind a nullary M_phi
+//     predicate; *connected* ancestor sets stay below the constant M of
+//     the crucial Lemma 77.
+
+#include <cstdio>
+#include <string>
+
+#include "base/vocabulary.h"
+#include "bench/report.h"
+#include "catalog/instances.h"
+#include "catalog/theories.h"
+#include "chase/chase.h"
+#include "normalize/ancestors.h"
+#include "normalize/normalize.h"
+
+namespace frontiers {
+namespace {
+
+void Run() {
+  bench::Section("E11: Example 66 ancestors, before and after "
+                  "normalization");
+
+  // Show the normalized theory once.
+  {
+    Vocabulary vocab;
+    Theory ex66 = Example66Theory(vocab);
+    Result<NormalizationResult> nf = NormalizeTheory(vocab, ex66);
+    if (nf.ok()) {
+      std::printf("T_NF rules:\n%s\n",
+                  TheoryToString(vocab, nf.value().normalized).c_str());
+    }
+  }
+
+  bench::Table table({"paints M", "|D|",
+                      "max |anc| under T (rotating adversary)",
+                      "max |canc| under T_NF"});
+  for (uint32_t paints : {2u, 4u, 6u, 8u}) {
+    size_t adversarial = 0;
+    {
+      Vocabulary vocab;
+      Theory ex66 = Example66Theory(vocab);
+      ChaseEngine engine(vocab, ex66);
+      ChaseOptions options;
+      options.max_rounds = 2 * paints + 2;
+      options.record_all_derivations = true;
+      ChaseResult chase =
+          engine.Run(Example66Instance(vocab, paints), options);
+      adversarial =
+          MaxAncestorSetSize(vocab, chase, RotatingDerivation());
+    }
+    size_t connected = 0;
+    {
+      Vocabulary vocab;
+      Theory ex66 = Example66Theory(vocab);
+      Result<NormalizationResult> nf = NormalizeTheory(vocab, ex66);
+      if (nf.ok()) {
+        ChaseEngine engine(vocab, nf.value().normalized);
+        ChaseOptions options;
+        options.max_rounds = 2 * paints + 2;
+        options.record_all_derivations = true;
+        ChaseResult chase =
+            engine.Run(Example66Instance(vocab, paints), options);
+        connected = MaxAncestorSetSize(vocab, chase, RotatingDerivation(),
+                                       /*connected_only=*/true);
+      }
+    }
+    table.AddRow({std::to_string(paints), std::to_string(paints + 1),
+                  std::to_string(adversarial), std::to_string(connected)});
+  }
+  table.Print();
+  std::printf(
+      "Shape check: the T-column grows with M (Lemma 65 is false) while\n"
+      "the T_NF column is flat (crucial Lemma 77) - the exact phenomenon\n"
+      "that forces the normalization detour in the proof of Theorem 3.\n");
+}
+
+}  // namespace
+}  // namespace frontiers
+
+int main() {
+  frontiers::Run();
+  return 0;
+}

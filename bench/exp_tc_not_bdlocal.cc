@@ -1,0 +1,83 @@
+// Experiment E6 (Example 42): T_c is BDD but not bounded-degree local.
+// On the degree-2 cycles D_n, the depth-n atoms of Ch(T_c, D_n) need all
+// n edges, and no proper subset ever produces them (the subset is a broken
+// path).  Since the degree is fixed at 2, no constant l(2) can exist
+// (Definition 40).  BDD-ness shows as converging rewritings.
+
+#include <cstdio>
+#include <string>
+
+#include "base/vocabulary.h"
+#include "bench/report.h"
+#include "catalog/instances.h"
+#include "catalog/theories.h"
+#include "chase/chase.h"
+#include "gaifman/gaifman.h"
+#include "props/locality.h"
+#include "rewriting/rewriter.h"
+#include "tgd/parser.h"
+
+namespace frontiers {
+namespace {
+
+ChaseOptions Rounds(uint32_t n) {
+  ChaseOptions options;
+  options.max_rounds = n;
+  return options;
+}
+
+void Run() {
+  bench::Section("E6: Example 42 - T_c is BDD but not bd-local");
+
+  bench::Table table({"cycle n", "Gaifman degree", "uncovered at l = n-1",
+                      "covered at l = n"});
+  for (uint32_t n = 3; n <= 6; ++n) {
+    Vocabulary vocab;
+    Theory t_c = TcTheory(vocab);
+    ChaseEngine engine(vocab, t_c);
+    FactSet cycle = EdgeCycle(vocab, "E", n);
+    GaifmanGraph graph(cycle);
+    LocalityReport below = TestLocality(vocab, engine, cycle, n - 1,
+                                        Rounds(n), Rounds(n + 3));
+    LocalityReport full =
+        TestLocality(vocab, engine, cycle, n, Rounds(n), Rounds(n + 1));
+    table.AddRow({std::to_string(n), std::to_string(graph.MaxDegree()),
+                  std::to_string(below.uncovered.size()),
+                  bench::YesNo(full.LocalAt())});
+  }
+  table.Print();
+
+  bench::Section("BDD evidence: rewritings of T_c queries converge");
+  bench::Table rew_table({"query", "status", "disjuncts",
+                          "max disjunct size"});
+  for (const std::string text :
+       {"q(x,y) :- R4(x,y,u,v)", "q(x) :- R4(x,y,u,v), E(x,y)",
+        "R4(x,y,u,v), R4(y,z,v,w)"}) {
+    Vocabulary vocab;
+    Theory t_c = TcTheory(vocab);
+    Rewriter rewriter(vocab, t_c);
+    Result<ConjunctiveQuery> q = ParseQuery(vocab, text);
+    if (!q.ok()) continue;
+    RewritingOptions options;
+    options.max_iterations = 4000;
+    RewritingResult rew = rewriter.Rewrite(q.value(), options);
+    rew_table.AddRow(
+        {text,
+         rew.status == RewritingStatus::kConverged ? "converged" : "budget",
+         std::to_string(rew.queries.size()),
+         std::to_string(rew.MaxDisjunctSize())});
+  }
+  rew_table.Print();
+  std::printf(
+      "Shape check: the defect at l = n-1 persists for every cycle length\n"
+      "at fixed degree 2, refuting bd-locality, while rewritings converge\n"
+      "(T_c is BDD) - Example 42's separation.\n");
+}
+
+}  // namespace
+}  // namespace frontiers
+
+int main() {
+  frontiers::Run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Experiment E3 (Theorem 5 A): the five-operation rewriting process for
+// T_d terminates, with the rank of the query set strictly decreasing at
+// every step (Lemma 53 / Definition 54 - checked exactly with BigNat
+// arithmetic), and ends with no live queries.
+
+#include <cstdio>
+#include <string>
+
+#include "base/vocabulary.h"
+#include "bench/report.h"
+#include "catalog/queries.h"
+#include "frontier/process.h"
+#include "frontier/tdk_process.h"
+
+namespace frontiers {
+namespace {
+
+void Run() {
+  bench::Section("E3: the Section 10 process on phi_R^n");
+  bench::Table table({"n", "steps", "cut-red", "cut-green", "fuse-red",
+                      "fuse-green", "reduce", "improper dropped", "dedup",
+                      "disjuncts", "completed", "rank certificate"});
+  for (uint32_t n = 1; n <= 4; ++n) {
+    Vocabulary vocab;
+    TdContext ctx = TdContext::Make(vocab);
+    ConjunctiveQuery phi = PhiRn(vocab, n);
+    TdProcessOptions options;
+    options.max_steps = 2'000'000;
+    options.max_queries = 4'000'000;
+    // The exact certificate is exponential-ish to check; keep it for the
+    // sizes where it finishes quickly.
+    options.check_rank_certificate = n <= 2;
+    TdProcessResult result = RunTdProcess(vocab, ctx, phi, options);
+    table.AddRow({std::to_string(n), std::to_string(result.steps),
+                  std::to_string(result.operation_counts[0]),
+                  std::to_string(result.operation_counts[1]),
+                  std::to_string(result.operation_counts[2]),
+                  std::to_string(result.operation_counts[3]),
+                  std::to_string(result.operation_counts[4]),
+                  std::to_string(result.discarded_improper),
+                  std::to_string(result.deduplicated),
+                  std::to_string(result.rewriting.size()),
+                  bench::YesNo(result.completed),
+                  options.check_rank_certificate
+                      ? (result.rank_certificate_ok ? "holds" : "VIOLATED")
+                      : "(skipped)"});
+  }
+  table.Print();
+  std::printf(
+      "Lemma 51 (completeness): the process never got stuck on a live\n"
+      "query; Lemma 53 (termination): every operation strictly decreased\n"
+      "the (red-count, green-rank-multiset) rank where checked.\n\n");
+
+  bench::Section("E3b: the Section 12 generalized process (K = 3)");
+  bench::Table ktable({"query", "steps", "cuts", "fuses", "reduces",
+                       "disjuncts", "completed", "rank certificate"});
+  struct KCase {
+    std::string label;
+    uint32_t n;
+    bool composed;
+  };
+  for (const KCase& kc : {KCase{"PhiTop(3,1)", 1, false},
+                          KCase{"PhiTop(3,2)", 2, false},
+                          KCase{"Composed(n=1)", 1, true}}) {
+    Vocabulary vocab;
+    TdKContext ctx = TdKContext::Make(vocab, 3);
+    ConjunctiveQuery phi =
+        kc.composed ? TdKComposedQuery(vocab, kc.n)
+                    : PhiTopKn(vocab, 3, kc.n);
+    TdKProcessOptions options;
+    options.max_steps = 2'000'000;
+    options.max_queries = 4'000'000;
+    options.check_rank_certificate = !kc.composed && kc.n == 1;
+    TdKProcessResult result = RunTdKProcess(vocab, ctx, phi, options);
+    ktable.AddRow({kc.label, std::to_string(result.steps),
+                   std::to_string(result.cuts), std::to_string(result.fuses),
+                   std::to_string(result.reduces),
+                   std::to_string(result.rewriting.size()),
+                   bench::YesNo(result.completed),
+                   options.check_rank_certificate
+                       ? (result.rank_certificate_ok ? "holds" : "VIOLATED")
+                       : "(skipped)"});
+  }
+  ktable.Print();
+  std::printf(
+      "The 3K-1 operations of Section 12 drain on the level-2 queries and\n"
+      "on the composed tower query, with the per-level lexicographic rank\n"
+      "strictly decreasing where checked.\n");
+}
+
+}  // namespace
+}  // namespace frontiers
+
+int main() {
+  frontiers::Run();
+  return 0;
+}

@@ -1,0 +1,63 @@
+#ifndef FRONTIERS_BENCH_REPORT_H_
+#define FRONTIERS_BENCH_REPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace frontiers::bench {
+
+/// Minimal fixed-width table printer shared by the experiment binaries.
+/// Each experiment prints one or more tables in the style the paper's
+/// claims would appear as evaluation tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      widths[i] = headers_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        if (row[i].size() > widths[i]) widths[i] = row[i].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < cells.size() ? cells[i] : "";
+        std::printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (size_t w : widths) {
+      std::printf("%s|", std::string(w + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) print_row(row);
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void Section(const std::string& title) {
+  std::printf("== %s ==\n\n", title.c_str());
+}
+
+inline std::string YesNo(bool b) { return b ? "yes" : "no"; }
+
+}  // namespace frontiers::bench
+
+#endif  // FRONTIERS_BENCH_REPORT_H_

@@ -1,0 +1,26 @@
+#include "base/atom.h"
+
+namespace frontiers {
+
+std::string AtomToString(const Vocabulary& vocab, const Atom& atom) {
+  std::string out = vocab.PredicateName(atom.predicate);
+  out += "(";
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += vocab.TermToString(atom.args[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::string AtomsToString(const Vocabulary& vocab,
+                          const std::vector<Atom>& atoms) {
+  std::string out;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AtomToString(vocab, atoms[i]);
+  }
+  return out;
+}
+
+}  // namespace frontiers

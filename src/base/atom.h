@@ -1,0 +1,70 @@
+#ifndef FRONTIERS_BASE_ATOM_H_
+#define FRONTIERS_BASE_ATOM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/vocabulary.h"
+
+namespace frontiers {
+
+/// A fact / atomic formula: a relation symbol applied to terms.
+///
+/// Atoms are plain value types; whether the terms are constants, variables
+/// or Skolem terms is determined by the `Vocabulary`.  The same type serves
+/// as database fact (all constants/Skolem terms), as query atom (variables
+/// allowed), and as rule body/head atom.
+struct Atom {
+  PredicateId predicate = kNoPredicate;
+  std::vector<TermId> args;
+
+  Atom() = default;
+  Atom(PredicateId p, std::vector<TermId> a)
+      : predicate(p), args(std::move(a)) {}
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate == b.predicate && a.args == b.args;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+
+  /// Deterministic total order (by predicate then argument ids); used to
+  /// canonicalize atom lists for printing and hashing of queries.
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.predicate != b.predicate) return a.predicate < b.predicate;
+    return a.args < b.args;
+  }
+
+  /// True if `t` occurs among the arguments.
+  bool ContainsTerm(TermId t) const {
+    for (TermId a : args) {
+      if (a == t) return true;
+    }
+    return false;
+  }
+};
+
+/// Hash functor for Atom (FNV-1a over predicate and argument ids).
+struct AtomHash {
+  size_t operator()(const Atom& atom) const {
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint32_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(atom.predicate);
+    for (TermId a : atom.args) mix(a);
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Renders `P(t1,...,tk)`.
+std::string AtomToString(const Vocabulary& vocab, const Atom& atom);
+
+/// Renders a list of atoms joined by ", ".
+std::string AtomsToString(const Vocabulary& vocab,
+                          const std::vector<Atom>& atoms);
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_BASE_ATOM_H_

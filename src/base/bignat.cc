@@ -1,0 +1,104 @@
+#include "base/bignat.h"
+
+#include <algorithm>
+
+namespace frontiers {
+
+BigNat::BigNat(uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(static_cast<uint32_t>(value & 0xffffffffu));
+    uint32_t high = static_cast<uint32_t>(value >> 32);
+    if (high != 0) limbs_.push_back(high);
+  }
+}
+
+BigNat BigNat::Pow(uint32_t base, uint32_t exponent) {
+  BigNat result(1);
+  for (uint32_t i = 0; i < exponent; ++i) result.MulSmall(base);
+  return result;
+}
+
+uint64_t BigNat::ToUint64Saturating() const {
+  if (limbs_.size() > 2) return UINT64_MAX;
+  uint64_t v = 0;
+  if (limbs_.size() >= 1) v = limbs_[0];
+  if (limbs_.size() == 2) v |= static_cast<uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+BigNat& BigNat::operator+=(const BigNat& other) {
+  const size_t n = std::max(limbs_.size(), other.limbs_.size());
+  limbs_.resize(n, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry + limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    limbs_[i] = static_cast<uint32_t>(sum & 0xffffffffu);
+    carry = sum >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<uint32_t>(carry));
+  return *this;
+}
+
+BigNat& BigNat::MulSmall(uint32_t factor) {
+  if (factor == 0) {
+    limbs_.clear();
+    return *this;
+  }
+  uint64_t carry = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t prod = static_cast<uint64_t>(limbs_[i]) * factor + carry;
+    limbs_[i] = static_cast<uint32_t>(prod & 0xffffffffu);
+    carry = prod >> 32;
+  }
+  while (carry != 0) {
+    limbs_.push_back(static_cast<uint32_t>(carry & 0xffffffffu));
+    carry >>= 32;
+  }
+  return *this;
+}
+
+int BigNat::Compare(const BigNat& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+void BigNat::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+uint32_t BigNat::DivModSmall(uint32_t divisor) {
+  uint64_t remainder = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    uint64_t cur = (remainder << 32) | limbs_[i];
+    limbs_[i] = static_cast<uint32_t>(cur / divisor);
+    remainder = cur % divisor;
+  }
+  Trim();
+  return static_cast<uint32_t>(remainder);
+}
+
+std::string BigNat::ToString() const {
+  if (IsZero()) return "0";
+  BigNat copy = *this;
+  std::string digits;
+  while (!copy.IsZero()) {
+    uint32_t chunk = copy.DivModSmall(1000000000u);
+    for (int i = 0; i < 9; ++i) {
+      digits.push_back(static_cast<char>('0' + chunk % 10));
+      chunk /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+}  // namespace frontiers

@@ -1,0 +1,84 @@
+#ifndef FRONTIERS_BASE_BIGNAT_H_
+#define FRONTIERS_BASE_BIGNAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace frontiers {
+
+/// Arbitrary-precision unsigned integer.
+///
+/// The rank machinery of Section 11 of the paper (elevations `3^|Q_R|` and
+/// path costs, Definitions 60-62) produces values that overflow 64 bits
+/// already for modest queries, and the termination certificate of the
+/// five-operation rewriting process must compare such values *exactly*.
+/// `BigNat` provides the handful of exact operations that machinery needs:
+/// addition, multiplication by a small factor, exponentiation with a small
+/// base, and total-order comparison.
+///
+/// Representation: little-endian vector of 32-bit limbs with no trailing
+/// zero limbs (zero is the empty vector).  The type is a regular value type:
+/// copyable, movable, equality-comparable and totally ordered.
+class BigNat {
+ public:
+  /// Constructs zero.
+  BigNat() = default;
+
+  /// Constructs from a machine integer.
+  explicit BigNat(uint64_t value);
+
+  /// Returns `base^exponent` computed exactly.
+  static BigNat Pow(uint32_t base, uint32_t exponent);
+
+  /// True if this value is zero.
+  bool IsZero() const { return limbs_.empty(); }
+
+  /// Returns the value as uint64_t if it fits, otherwise UINT64_MAX.
+  uint64_t ToUint64Saturating() const;
+
+  /// In-place addition.
+  BigNat& operator+=(const BigNat& other);
+
+  /// In-place multiplication by a small factor.
+  BigNat& MulSmall(uint32_t factor);
+
+  /// Three-way comparison: negative, zero or positive as *this <=> other.
+  int Compare(const BigNat& other) const;
+
+  /// Decimal rendering (for experiment reports and debugging).
+  std::string ToString() const;
+
+  friend BigNat operator+(BigNat lhs, const BigNat& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend bool operator==(const BigNat& a, const BigNat& b) {
+    return a.limbs_ == b.limbs_;
+  }
+  friend bool operator!=(const BigNat& a, const BigNat& b) { return !(a == b); }
+  friend bool operator<(const BigNat& a, const BigNat& b) {
+    return a.Compare(b) < 0;
+  }
+  friend bool operator<=(const BigNat& a, const BigNat& b) {
+    return a.Compare(b) <= 0;
+  }
+  friend bool operator>(const BigNat& a, const BigNat& b) {
+    return a.Compare(b) > 0;
+  }
+  friend bool operator>=(const BigNat& a, const BigNat& b) {
+    return a.Compare(b) >= 0;
+  }
+
+ private:
+  void Trim();
+  // Divides in place by `divisor` (must be nonzero) and returns the
+  // remainder; used by ToString.
+  uint32_t DivModSmall(uint32_t divisor);
+
+  std::vector<uint32_t> limbs_;
+};
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_BASE_BIGNAT_H_

@@ -1,0 +1,104 @@
+#include "base/fact_set.h"
+
+#include <algorithm>
+
+namespace frontiers {
+
+namespace {
+const std::vector<uint32_t>& EmptyIndex() {
+  static const std::vector<uint32_t>* empty = new std::vector<uint32_t>();
+  return *empty;
+}
+}  // namespace
+
+bool FactSet::Insert(const Atom& atom) {
+  auto [it, inserted] =
+      index_of_.emplace(atom, static_cast<uint32_t>(atoms_.size()));
+  if (!inserted) return false;
+  uint32_t idx = it->second;
+  atoms_.push_back(atom);
+  by_predicate_[atom.predicate].push_back(idx);
+  for (uint32_t pos = 0; pos < atom.args.size(); ++pos) {
+    TermId t = atom.args[pos];
+    by_position_[{atom.predicate, pos, t}].push_back(idx);
+    if (domain_set_.insert(t).second) domain_.push_back(t);
+  }
+  // Count each atom once per distinct term it mentions.
+  std::vector<TermId> seen;
+  for (TermId t : atom.args) {
+    if (std::find(seen.begin(), seen.end(), t) == seen.end()) {
+      seen.push_back(t);
+      ++atom_degree_[t];
+    }
+  }
+  return true;
+}
+
+size_t FactSet::InsertAll(const FactSet& other) {
+  size_t added = 0;
+  for (const Atom& atom : other.atoms_) {
+    if (Insert(atom)) ++added;
+  }
+  return added;
+}
+
+const std::vector<uint32_t>& FactSet::ByPredicate(PredicateId p) const {
+  auto it = by_predicate_.find(p);
+  if (it == by_predicate_.end()) return EmptyIndex();
+  return it->second;
+}
+
+const std::vector<uint32_t>& FactSet::ByPredicatePositionTerm(
+    PredicateId p, uint32_t position, TermId t) const {
+  auto it = by_position_.find({p, position, t});
+  if (it == by_position_.end()) return EmptyIndex();
+  return it->second;
+}
+
+bool FactSet::IsSubsetOf(const FactSet& other) const {
+  for (const Atom& atom : atoms_) {
+    if (!other.Contains(atom)) return false;
+  }
+  return true;
+}
+
+FactSet FactSet::InducedOn(const std::unordered_set<TermId>& keep) const {
+  FactSet out;
+  for (const Atom& atom : atoms_) {
+    bool all_kept = true;
+    for (TermId t : atom.args) {
+      if (keep.find(t) == keep.end()) {
+        all_kept = false;
+        break;
+      }
+    }
+    if (all_kept) out.Insert(atom);
+  }
+  return out;
+}
+
+std::vector<Atom> FactSet::Difference(const FactSet& other) const {
+  std::vector<Atom> out;
+  for (const Atom& atom : atoms_) {
+    if (!other.Contains(atom)) out.push_back(atom);
+  }
+  return out;
+}
+
+uint32_t FactSet::AtomDegree(TermId t) const {
+  auto it = atom_degree_.find(t);
+  if (it == atom_degree_.end()) return 0;
+  return it->second;
+}
+
+std::string FactSet::ToString(const Vocabulary& vocab) const {
+  std::string out = "{";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AtomToString(vocab, atoms_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace frontiers

@@ -1,0 +1,135 @@
+#ifndef FRONTIERS_BASE_FACT_SET_H_
+#define FRONTIERS_BASE_FACT_SET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/atom.h"
+#include "base/vocabulary.h"
+
+namespace frontiers {
+
+/// A finite structure / database instance / fact set: a duplicate-free set
+/// of atoms with access-path indexes.
+///
+/// Faithful to Section 2 of the paper, a `FactSet` is *just* a set of facts;
+/// its active domain `dom(F)` is derived.  The class maintains, besides the
+/// atom store:
+///
+///  * a per-predicate index (`ByPredicate`), and
+///  * a per-(predicate, position, term) index (`ByPredicatePositionTerm`)
+///
+/// which are the two access paths the CQ matcher and the chase's semi-naive
+/// join need.  Atoms are kept in insertion order, so iteration (and hence
+/// everything built on top, including chase runs) is deterministic.
+class FactSet {
+ public:
+  FactSet() = default;
+
+  /// Inserts an atom; returns true if it was new.
+  bool Insert(const Atom& atom);
+
+  /// Inserts every atom of `other`; returns the number of new atoms.
+  size_t InsertAll(const FactSet& other);
+
+  /// Membership test.
+  bool Contains(const Atom& atom) const {
+    return index_of_.find(atom) != index_of_.end();
+  }
+
+  /// Index of `atom` within `atoms()`, if present.
+  std::optional<uint32_t> IndexOf(const Atom& atom) const {
+    auto it = index_of_.find(atom);
+    if (it == index_of_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Number of atoms.
+  size_t size() const { return atoms_.size(); }
+
+  /// True if the set has no atoms.
+  bool empty() const { return atoms_.empty(); }
+
+  /// All atoms, in insertion order.
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  /// Indices (into `atoms()`) of atoms with the given predicate.
+  const std::vector<uint32_t>& ByPredicate(PredicateId p) const;
+
+  /// Indices of atoms with predicate `p` whose argument at `position`
+  /// equals `t`.
+  const std::vector<uint32_t>& ByPredicatePositionTerm(PredicateId p,
+                                                       uint32_t position,
+                                                       TermId t) const;
+
+  /// The active domain: every term occurring in some atom, in first-seen
+  /// order.
+  const std::vector<TermId>& Domain() const { return domain_; }
+
+  /// True if `t` occurs in some atom.
+  bool ContainsTerm(TermId t) const {
+    return domain_set_.find(t) != domain_set_.end();
+  }
+
+  /// True if every atom of this set is in `other`.
+  bool IsSubsetOf(const FactSet& other) const;
+
+  /// Set equality (order-insensitive).
+  bool SetEquals(const FactSet& other) const {
+    return size() == other.size() && IsSubsetOf(other);
+  }
+
+  /// The substructure induced on `keep`: all atoms whose terms all belong
+  /// to `keep` (Definition 36 uses this to carve `M_F` out of a chase).
+  FactSet InducedOn(const std::unordered_set<TermId>& keep) const;
+
+  /// Atoms of this set that are not in `other`.
+  std::vector<Atom> Difference(const FactSet& other) const;
+
+  /// Degree of `t` in the Gaifman sense restricted to atom incidence: the
+  /// number of atoms in which `t` occurs.
+  uint32_t AtomDegree(TermId t) const;
+
+  /// Renders `{A(...), B(...)}`.
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  struct PosKey {
+    PredicateId predicate;
+    uint32_t position;
+    TermId term;
+    friend bool operator==(const PosKey& a, const PosKey& b) {
+      return a.predicate == b.predicate && a.position == b.position &&
+             a.term == b.term;
+    }
+  };
+  struct PosKeyHash {
+    size_t operator()(const PosKey& k) const {
+      uint64_t h = 1469598103934665603ull;
+      auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+      };
+      mix(k.predicate);
+      mix(k.position);
+      mix(k.term);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  std::vector<Atom> atoms_;
+  std::unordered_map<Atom, uint32_t, AtomHash> index_of_;
+  std::unordered_map<PredicateId, std::vector<uint32_t>> by_predicate_;
+  std::unordered_map<PosKey, std::vector<uint32_t>, PosKeyHash> by_position_;
+  std::vector<TermId> domain_;
+  std::unordered_set<TermId> domain_set_;
+  std::unordered_map<TermId, uint32_t> atom_degree_;
+};
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_BASE_FACT_SET_H_

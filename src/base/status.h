@@ -1,0 +1,74 @@
+#ifndef FRONTIERS_BASE_STATUS_H_
+#define FRONTIERS_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace frontiers {
+
+/// Lightweight error-reporting type used across public API boundaries.
+///
+/// The library does not throw exceptions through its public interfaces (per
+/// the project style rules); fallible operations return a `Status` or a
+/// `Result<T>` instead.  A default-constructed `Status` is OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : ok_(true) {}
+
+  /// Returns an OK status.
+  static Status Ok() { return Status(); }
+
+  /// Returns an error status carrying a human-readable message.
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  /// True if this status represents success.
+  bool ok() const { return ok_; }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_;
+  std::string message_;
+};
+
+/// A value-or-error pair: either holds a `T` or an error `Status`.
+///
+/// This is a minimal `StatusOr`-style type; it intentionally supports only
+/// the operations the library needs (construction from a value or an error
+/// status, and checked access).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)), status_(Status::Ok()) {}
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {}
+
+  /// True if a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Checked access to the stored value. Must only be called when ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_BASE_STATUS_H_

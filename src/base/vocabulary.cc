@@ -1,0 +1,157 @@
+#include "base/vocabulary.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace frontiers {
+
+namespace {
+
+// Encodes a Skolem term key as a compact string: fn id followed by the raw
+// argument ids.  String keys keep the hash-consing table simple and fully
+// deterministic.
+std::string SkolemKey(SkolemFnId fn, const std::vector<TermId>& args) {
+  std::string key;
+  key.reserve(4 + 4 * args.size());
+  key.append(reinterpret_cast<const char*>(&fn), sizeof(fn));
+  for (TermId a : args) {
+    key.append(reinterpret_cast<const char*>(&a), sizeof(a));
+  }
+  return key;
+}
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "frontiers: fatal: %s\n", message.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+PredicateId Vocabulary::AddPredicate(std::string_view name, uint32_t arity) {
+  auto it = predicate_index_.find(std::string(name));
+  if (it != predicate_index_.end()) {
+    if (predicates_[it->second].arity != arity) {
+      Die("predicate '" + std::string(name) + "' redeclared with arity " +
+          std::to_string(arity) + " (was " +
+          std::to_string(predicates_[it->second].arity) + ")");
+    }
+    return it->second;
+  }
+  PredicateId id = static_cast<PredicateId>(predicates_.size());
+  predicates_.push_back({std::string(name), arity});
+  predicate_index_.emplace(std::string(name), id);
+  return id;
+}
+
+std::optional<PredicateId> Vocabulary::FindPredicate(
+    std::string_view name) const {
+  auto it = predicate_index_.find(std::string(name));
+  if (it == predicate_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Vocabulary::PredicateName(PredicateId p) const {
+  return predicates_[p].name;
+}
+
+uint32_t Vocabulary::PredicateArity(PredicateId p) const {
+  return predicates_[p].arity;
+}
+
+TermId Vocabulary::Constant(std::string_view name) {
+  auto it = constant_index_.find(std::string(name));
+  if (it != constant_index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  TermData data;
+  data.kind = TermKind::kConstant;
+  data.name_index = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  terms_.push_back(std::move(data));
+  constant_index_.emplace(std::string(name), id);
+  return id;
+}
+
+TermId Vocabulary::Variable(std::string_view name) {
+  auto it = variable_index_.find(std::string(name));
+  if (it != variable_index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  TermData data;
+  data.kind = TermKind::kVariable;
+  data.name_index = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  terms_.push_back(std::move(data));
+  variable_index_.emplace(std::string(name), id);
+  return id;
+}
+
+TermId Vocabulary::FreshVariable(std::string_view prefix) {
+  for (;;) {
+    std::string name =
+        std::string(prefix) + "#" + std::to_string(fresh_counter_++);
+    if (variable_index_.find(name) == variable_index_.end()) {
+      return Variable(name);
+    }
+  }
+}
+
+TermId Vocabulary::SkolemTerm(SkolemFnId fn, const std::vector<TermId>& args) {
+  if (skolem_fns_[fn].arity != args.size()) {
+    Die("Skolem term arity mismatch for function " +
+        skolem_fns_[fn].signature);
+  }
+  std::string key = SkolemKey(fn, args);
+  auto it = skolem_term_index_.find(key);
+  if (it != skolem_term_index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  TermData data;
+  data.kind = TermKind::kSkolem;
+  data.fn = fn;
+  data.args = args;
+  uint32_t depth = 0;
+  for (TermId a : args) depth = std::max(depth, terms_[a].depth);
+  data.depth = depth + 1;
+  terms_.push_back(std::move(data));
+  skolem_term_index_.emplace(std::move(key), id);
+  return id;
+}
+
+SkolemFnId Vocabulary::SkolemFunction(std::string_view signature,
+                                      uint32_t arity) {
+  auto it = skolem_fn_index_.find(std::string(signature));
+  if (it != skolem_fn_index_.end()) {
+    if (skolem_fns_[it->second].arity != arity) {
+      Die("Skolem function '" + std::string(signature) +
+          "' redeclared with a different arity");
+    }
+    return it->second;
+  }
+  SkolemFnId id = static_cast<SkolemFnId>(skolem_fns_.size());
+  skolem_fns_.push_back({std::string(signature), arity});
+  skolem_fn_index_.emplace(std::string(signature), id);
+  return id;
+}
+
+const std::string& Vocabulary::TermName(TermId t) const {
+  return names_[terms_[t].name_index];
+}
+
+std::string Vocabulary::TermToString(TermId t) const {
+  const TermData& data = terms_[t];
+  switch (data.kind) {
+    case TermKind::kConstant:
+    case TermKind::kVariable:
+      return names_[data.name_index];
+    case TermKind::kSkolem: {
+      std::string out = "f" + std::to_string(data.fn) + "(";
+      for (size_t i = 0; i < data.args.size(); ++i) {
+        if (i > 0) out += ",";
+        out += TermToString(data.args[i]);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace frontiers

@@ -1,0 +1,180 @@
+#ifndef FRONTIERS_BASE_VOCABULARY_H_
+#define FRONTIERS_BASE_VOCABULARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace frontiers {
+
+/// Identifier of a relation symbol within a Vocabulary.
+using PredicateId = uint32_t;
+/// Identifier of a term (constant, variable, or Skolem term).
+using TermId = uint32_t;
+/// Identifier of an interned Skolem function symbol.
+using SkolemFnId = uint32_t;
+
+/// Sentinel for "no term".
+inline constexpr TermId kNoTerm = UINT32_MAX;
+/// Sentinel for "no predicate".
+inline constexpr PredicateId kNoPredicate = UINT32_MAX;
+
+/// The kind of a term.
+enum class TermKind : uint8_t {
+  kConstant,  ///< A database constant (element of some instance domain).
+  kVariable,  ///< A query / rule variable.
+  kSkolem,    ///< A chase-invented Skolem term `f(t1,...,tk)`.
+};
+
+/// Interning tables for a signature: relation symbols, constants, variables
+/// and hash-consed Skolem terms.
+///
+/// A single `Vocabulary` underlies every structure, query and theory that
+/// interact with each other.  Two design points matter for faithfulness to
+/// the paper:
+///
+///  1. **Skolem terms are hash-consed.**  `SkolemTerm(f, args)` returns the
+///     *same* `TermId` for the same function symbol and arguments, so chases
+///     of different instances over the same vocabulary produce literally
+///     identical atoms where the paper's Skolem naming convention says they
+///     must (Observation 8: `Ch(T,F) = Ch(T,D)` literally, not up to
+///     isomorphism).  This is what makes "unions of chases" (Definition 30,
+///     locality) a meaningful set operation.
+///
+///  2. **Skolem function symbols are keyed by isomorphism type.**  Section 3
+///     (Definition 3/4) requires `f_i^tau` to depend only on the isomorphism
+///     type `tau` of the rule head, not on the rule identity; the `tgd`
+///     module computes a canonical signature string for the head type and
+///     interns the function symbol through `SkolemFunction`, so isomorphic
+///     heads in different rules share Skolem functions exactly as the paper
+///     prescribes.
+///
+/// TermIds and PredicateIds are dense indices, suitable for use in vectors.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // Vocabularies are identity objects shared by reference; copying one would
+  // silently split the hash-consing tables, so copies are disabled.
+  Vocabulary(const Vocabulary&) = delete;
+  Vocabulary& operator=(const Vocabulary&) = delete;
+
+  // --- Predicates ---------------------------------------------------------
+
+  /// Interns a relation symbol.  If `name` is already known its arity must
+  /// match; a mismatch aborts (it is a programming error, not input error).
+  PredicateId AddPredicate(std::string_view name, uint32_t arity);
+
+  /// Looks up a relation symbol by name.
+  std::optional<PredicateId> FindPredicate(std::string_view name) const;
+
+  /// Name of a relation symbol.
+  const std::string& PredicateName(PredicateId p) const;
+
+  /// Arity of a relation symbol.
+  uint32_t PredicateArity(PredicateId p) const;
+
+  /// Number of interned relation symbols.
+  uint32_t NumPredicates() const {
+    return static_cast<uint32_t>(predicates_.size());
+  }
+
+  // --- Terms ---------------------------------------------------------------
+
+  /// Interns a constant.
+  TermId Constant(std::string_view name);
+
+  /// Interns a variable.
+  TermId Variable(std::string_view name);
+
+  /// Returns a variable with a name not used by any previously interned
+  /// variable (of the form `prefix#k`).
+  TermId FreshVariable(std::string_view prefix);
+
+  /// Interns (hash-consing) the Skolem term `fn(args...)`.
+  TermId SkolemTerm(SkolemFnId fn, const std::vector<TermId>& args);
+
+  /// Interns a Skolem function symbol under a canonical `signature` string.
+  /// Callers (the `tgd` module) are responsible for making `signature`
+  /// canonical for the head isomorphism type + position, per Definition 4.
+  SkolemFnId SkolemFunction(std::string_view signature, uint32_t arity);
+
+  /// Kind of a term.
+  TermKind Kind(TermId t) const { return terms_[t].kind; }
+
+  /// True if `t` is a constant.
+  bool IsConstant(TermId t) const { return Kind(t) == TermKind::kConstant; }
+  /// True if `t` is a variable.
+  bool IsVariable(TermId t) const { return Kind(t) == TermKind::kVariable; }
+  /// True if `t` is a Skolem term.
+  bool IsSkolem(TermId t) const { return Kind(t) == TermKind::kSkolem; }
+
+  /// Name of a constant or variable (not valid for Skolem terms).
+  const std::string& TermName(TermId t) const;
+
+  /// Function symbol of a Skolem term.
+  SkolemFnId SkolemFn(TermId t) const { return terms_[t].fn; }
+
+  /// Arguments of a Skolem term.
+  const std::vector<TermId>& SkolemArgs(TermId t) const {
+    return terms_[t].args;
+  }
+
+  /// Canonical signature string of a Skolem function symbol.
+  const std::string& SkolemFnSignature(SkolemFnId f) const {
+    return skolem_fns_[f].signature;
+  }
+
+  /// Arity of a Skolem function symbol.
+  uint32_t SkolemFnArity(SkolemFnId f) const { return skolem_fns_[f].arity; }
+
+  /// Number of interned terms (of all kinds).
+  uint32_t NumTerms() const { return static_cast<uint32_t>(terms_.size()); }
+
+  /// Skolem nesting depth of a term: 0 for constants/variables, and
+  /// `1 + max(depth(args))` for Skolem terms.  This equals the chase stage
+  /// at which the term is born and is used by depth-bounded experiments.
+  uint32_t TermDepth(TermId t) const { return terms_[t].depth; }
+
+  /// Human-readable rendering of a term (Skolem terms print as `f12(...)`).
+  std::string TermToString(TermId t) const;
+
+ private:
+  struct TermData {
+    TermKind kind;
+    uint32_t name_index = 0;  // for constants/variables: index into names_
+    SkolemFnId fn = 0;        // for Skolem terms
+    std::vector<TermId> args;
+    uint32_t depth = 0;
+  };
+  struct PredicateData {
+    std::string name;
+    uint32_t arity;
+  };
+  struct SkolemFnData {
+    std::string signature;
+    uint32_t arity;
+  };
+
+  std::vector<PredicateData> predicates_;
+  std::unordered_map<std::string, PredicateId> predicate_index_;
+
+  std::vector<TermData> terms_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, TermId> constant_index_;
+  std::unordered_map<std::string, TermId> variable_index_;
+
+  std::vector<SkolemFnData> skolem_fns_;
+  std::unordered_map<std::string, SkolemFnId> skolem_fn_index_;
+  // Hash-consing table for Skolem terms: key encodes (fn, args).
+  std::unordered_map<std::string, TermId> skolem_term_index_;
+
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_BASE_VOCABULARY_H_

@@ -1,0 +1,58 @@
+#ifndef FRONTIERS_CATALOG_INSTANCES_H_
+#define FRONTIERS_CATALOG_INSTANCES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/fact_set.h"
+#include "base/vocabulary.h"
+
+namespace frontiers {
+
+/// Instance generators for the paper's witness families.  All generators
+/// are deterministic; constants are named `<prefix><index>`.
+
+/// A directed path of `length` edges of binary predicate `predicate`:
+/// P(prefix0, prefix1), ..., P(prefix<length-1>, prefix<length>).
+/// The paper's `G^n(a, b)` (Section 10) is `EdgePath(vocab, "G", n, "a")`.
+FactSet EdgePath(Vocabulary& vocab, const std::string& predicate,
+                 uint32_t length, const std::string& prefix = "a");
+
+/// A directed cycle of `length` edges (Example 42's `D_n`):
+/// E(a1,a2), ..., E(a<length>, a1).
+FactSet EdgeCycle(Vocabulary& vocab, const std::string& predicate,
+                  uint32_t length, const std::string& prefix = "a");
+
+/// Example 39's star: E4(A, B1, B2, C1) plus R(A, C1), ..., R(A, C<colors>).
+/// Predicates: E4 of arity 4, R of arity 2, matching
+/// StickyExample39Theory's signature.
+FactSet Star39Instance(Vocabulary& vocab, uint32_t colors);
+
+/// Example 66's instance: E(A0, A1) plus P(B1), ..., P(B<paints>).
+FactSet Example66Instance(Vocabulary& vocab, uint32_t paints);
+
+/// First and last constants of an EdgePath/EdgeCycle-style family.
+TermId PathConstant(Vocabulary& vocab, const std::string& prefix,
+                    uint32_t index);
+
+/// A pseudo-random instance over the given binary predicates: `num_atoms`
+/// atoms over `num_terms` constants (prefix "r"), drawn with a fixed LCG
+/// from `seed`.  If `max_degree` is nonzero, atoms that would push a
+/// term's atom-degree beyond it are skipped (used by the bounded-degree
+/// locality experiments, Definition 40).
+FactSet RandomBinaryInstance(Vocabulary& vocab,
+                             const std::vector<std::string>& predicates,
+                             uint32_t num_terms, uint32_t num_atoms,
+                             uint64_t seed, uint32_t max_degree = 0);
+
+/// All subsets of `facts` of size exactly `size` (by index combination).
+/// Locality testing (Definition 30) enumerates these.
+std::vector<FactSet> SubsetsOfSize(const FactSet& facts, uint32_t size);
+
+/// All subsets of `facts` of size at most `size` (nonempty).
+std::vector<FactSet> SubsetsUpToSize(const FactSet& facts, uint32_t size);
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_CATALOG_INSTANCES_H_

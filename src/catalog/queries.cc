@@ -1,0 +1,95 @@
+#include "catalog/queries.h"
+
+#include <vector>
+
+#include "base/atom.h"
+#include "catalog/theories.h"
+
+namespace frontiers {
+
+ConjunctiveQuery PathQuery(Vocabulary& vocab, const std::string& predicate,
+                           uint32_t length) {
+  PredicateId pred = vocab.AddPredicate(predicate, 2);
+  ConjunctiveQuery query;
+  std::vector<TermId> vars;
+  vars.reserve(length + 1);
+  for (uint32_t i = 0; i <= length; ++i) {
+    vars.push_back(vocab.FreshVariable("p"));
+  }
+  for (uint32_t i = 0; i < length; ++i) {
+    query.atoms.push_back(Atom(pred, {vars[i], vars[i + 1]}));
+  }
+  query.answer_vars = {vars.front(), vars.back()};
+  return query;
+}
+
+namespace {
+
+// Appends R^n(from, to) through fresh intermediate variables and returns
+// the final variable `to`.
+TermId AppendChain(Vocabulary& vocab, PredicateId pred, TermId from,
+                   uint32_t length, ConjunctiveQuery& query) {
+  TermId current = from;
+  for (uint32_t i = 0; i < length; ++i) {
+    TermId next = vocab.FreshVariable("c");
+    query.atoms.push_back(Atom(pred, {current, next}));
+    current = next;
+  }
+  return current;
+}
+
+ConjunctiveQuery PhiTop(Vocabulary& vocab, PredicateId top, PredicateId below,
+                        uint32_t n) {
+  ConjunctiveQuery query;
+  TermId x = vocab.FreshVariable("x");
+  TermId y = vocab.FreshVariable("y");
+  TermId x_top = AppendChain(vocab, top, x, n, query);
+  TermId y_top = AppendChain(vocab, top, y, n, query);
+  query.atoms.push_back(Atom(below, {x_top, y_top}));
+  query.answer_vars = {x, y};
+  return query;
+}
+
+}  // namespace
+
+ConjunctiveQuery PhiRn(Vocabulary& vocab, uint32_t n) {
+  PredicateId r = vocab.AddPredicate("R", 2);
+  PredicateId g = vocab.AddPredicate("G", 2);
+  return PhiTop(vocab, r, g, n);
+}
+
+ConjunctiveQuery PhiTopKn(Vocabulary& vocab, uint32_t k, uint32_t n) {
+  PredicateId top = vocab.AddPredicate(TdKPredicateName(k), 2);
+  PredicateId below = vocab.AddPredicate(TdKPredicateName(k - 1), 2);
+  return PhiTop(vocab, top, below, n);
+}
+
+ConjunctiveQuery TdKComposedQuery(Vocabulary& vocab, uint32_t n) {
+  PredicateId i1 = vocab.AddPredicate(TdKPredicateName(1), 2);
+  PredicateId i2 = vocab.AddPredicate(TdKPredicateName(2), 2);
+  PredicateId i3 = vocab.AddPredicate(TdKPredicateName(3), 2);
+  ConjunctiveQuery query;
+  TermId y = vocab.FreshVariable("y");
+  // Base: the I_2-path of length 2^n from y to v, with every path node
+  // carrying an incoming I_1 edge.  The anchoring is essential: grid_1's
+  // double head gives every *real* rail node an I_1 sibling, while the
+  // pins-chain I_2 edges that would otherwise fake the path lead to
+  // sibling-free fresh terms.  Without the anchors the query is satisfied
+  // by pins junk on every instance.
+  TermId current = y;
+  for (uint32_t step = 0; step < (1u << n); ++step) {
+    TermId next = vocab.FreshVariable("c");
+    query.atoms.push_back(Atom(i2, {current, next}));
+    query.atoms.push_back(Atom(i1, {vocab.FreshVariable("s"), next}));
+    current = next;
+  }
+  TermId v = current;
+  // Left rail from y, right rail from v, bridged at the top.
+  TermId u = AppendChain(vocab, i3, y, n, query);
+  TermId w = AppendChain(vocab, i3, v, n, query);
+  query.atoms.push_back(Atom(i2, {u, w}));
+  query.answer_vars = {y};
+  return query;
+}
+
+}  // namespace frontiers

@@ -1,0 +1,45 @@
+#ifndef FRONTIERS_CATALOG_QUERIES_H_
+#define FRONTIERS_CATALOG_QUERIES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/vocabulary.h"
+#include "tgd/conjunctive_query.h"
+
+namespace frontiers {
+
+/// Query builders for the Section 10/12 experiments.
+
+/// The path query `P^n(x0, xn)` (Section 10's `G^n`/`R^n` notation):
+///   q(x0,xn) :- P(x0,x1), ..., P(x_{n-1},xn)
+/// with the two endpoints free.  Variables are freshly invented per call.
+ConjunctiveQuery PathQuery(Vocabulary& vocab, const std::string& predicate,
+                           uint32_t length);
+
+/// The paper's `phi_R^n(x, y)` (Section 10):
+///   q(x,y) :- R^n(x,x'), R^n(y,y'), G(x',y')
+/// Its rewriting under T_d contains `G^{2^n}(x,y)` (Theorem 5 B).
+ConjunctiveQuery PhiRn(Vocabulary& vocab, uint32_t n);
+
+/// The `T_d^K` analogue of `phi_R^n` at the top two levels:
+///   q(x,y) :- I_K^n(x,x'), I_K^n(y,y'), I_{K-1}(x',y')
+/// For K = 2 this is PhiRn with I_2 = R and I_1 = G.  Over instances that
+/// are I_{K-1}-paths, the level-(K-1) grid reproduces the 2^n law one
+/// level up.
+ConjunctiveQuery PhiTopKn(Vocabulary& vocab, uint32_t k, uint32_t n);
+
+/// The *composed* witness query for K = 3 (Theorem 6's tower): a single
+/// anchor `y` that is simultaneously
+///   * the start of an I_2-path of length 2^n (the level-1 right rail the
+///     chase grows from the end of an I_1-path), and
+///   * the base of both level-2 rails meeting in an I_2 bridge:
+///       q(y) :- I_2^{2^n}(y,v), I_3^n(y,u), I_3^n(v,w), I_2(u,w).
+/// Over an I_1-path D with y = its last vertex, the level-1 grid supplies
+/// the I_2-path iff |D| is a power of two with log2 |D| = 2^n, so the
+/// minimal witness has 2^{2^n} edges - the K = 3 tower.
+ConjunctiveQuery TdKComposedQuery(Vocabulary& vocab, uint32_t n);
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_CATALOG_QUERIES_H_

@@ -1,0 +1,100 @@
+#include "catalog/strategies.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "catalog/theories.h"
+
+namespace frontiers {
+
+namespace {
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "frontiers: fatal: %s\n", message.c_str());
+  std::abort();
+}
+
+size_t RuleIndexByName(const Theory& theory, const std::string& name) {
+  for (size_t i = 0; i < theory.rules.size(); ++i) {
+    if (theory.rules[i].name == name) return i;
+  }
+  Die("theory '" + theory.name + "' has no rule named '" + name + "'");
+}
+
+bool HasIncomingEdge(const FactSet& stage, PredicateId pred, TermId t) {
+  return !stage.ByPredicatePositionTerm(pred, 1, t).empty();
+}
+
+}  // namespace
+
+ChaseFilter TdWitnessStrategy(const Vocabulary& vocab, const Theory& td) {
+  const size_t loop = RuleIndexByName(td, "loop");
+  const size_t pins_r = RuleIndexByName(td, "pins_r");
+  const size_t pins_g = RuleIndexByName(td, "pins_g");
+  const PredicateId g = vocab.FindPredicate("G").value();
+  const TermId pins_r_var = td.rules[pins_r].domain_vars.at(0);
+  return [loop, pins_r, pins_g, g, pins_r_var](size_t rule_index,
+                                               const Substitution& sigma,
+                                               const FactSet& stage) {
+    if (rule_index == loop || rule_index == pins_g) return false;
+    if (rule_index == pins_r) {
+      TermId t = Apply(sigma, pins_r_var);
+      return !HasIncomingEdge(stage, g, t);
+    }
+    return true;
+  };
+}
+
+ChaseFilter TdKWitnessStrategy(const Vocabulary& vocab, const Theory& tdk,
+                               uint32_t k, const FactSet& db) {
+  const size_t loop = RuleIndexByName(tdk, "loop");
+  struct PinsRule {
+    size_t index;
+    uint32_t level;
+    TermId domain_var;
+  };
+  std::vector<PinsRule> pins;
+  for (uint32_t level = 1; level <= k; ++level) {
+    size_t index = RuleIndexByName(tdk, "pins_" + std::to_string(level));
+    pins.push_back({index, level, tdk.rules[index].domain_vars.at(0)});
+  }
+  std::vector<PredicateId> level_pred(k + 1, kNoPredicate);
+  for (uint32_t level = 1; level <= k; ++level) {
+    level_pred[level] = vocab.FindPredicate(TdKPredicateName(level)).value();
+  }
+  std::unordered_set<TermId> input_terms(db.Domain().begin(),
+                                         db.Domain().end());
+  return [loop, pins, level_pred, input_terms](size_t rule_index,
+                                               const Substitution& sigma,
+                                               const FactSet& stage) {
+    if (rule_index == loop) return false;
+    for (const PinsRule& rule : pins) {
+      if (rule_index != rule.index) continue;
+      if (rule.level == 1) return false;
+      TermId t = Apply(sigma, rule.domain_var);
+      // Column terms of the level-k grid only ever have incoming I_k
+      // edges; allowing any other incoming colour admits the "junk grid"
+      // cascade (pins chains on every invented term), which blows the
+      // chase up without contributing witnesses.
+      bool only_same_level_incoming = true;
+      for (uint32_t j = 1; j < level_pred.size(); ++j) {
+        if (j == rule.level) continue;
+        if (level_pred[j] != kNoPredicate &&
+            HasIncomingEdge(stage, level_pred[j], t)) {
+          only_same_level_incoming = false;
+          break;
+        }
+      }
+      if (only_same_level_incoming) return true;
+      // Rail-base clause: input constants with an outgoing I_{k-1} edge.
+      return input_terms.count(t) > 0 &&
+             !stage.ByPredicatePositionTerm(level_pred[rule.level - 1], 0, t)
+                  .empty();
+    }
+    return true;  // grid rules always fire
+  };
+}
+
+}  // namespace frontiers

@@ -1,0 +1,54 @@
+#ifndef FRONTIERS_CATALOG_STRATEGIES_H_
+#define FRONTIERS_CATALOG_STRATEGIES_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "base/fact_set.h"
+#include "base/vocabulary.h"
+#include "tgd/substitution.h"
+#include "tgd/tgd.h"
+
+namespace frontiers {
+
+/// A chase application filter (see ChaseOptions::filter).
+using ChaseFilter = std::function<bool(size_t rule_index,
+                                       const Substitution& sigma,
+                                       const FactSet& stage)>;
+
+/// Witness-search strategy for `T_d` (Sections 10-11).
+///
+/// The full chase of T_d explodes: the (pins) rules give *every* term two
+/// fresh successors per round, so the structure doubles each round, while
+/// the grid witness of Figure 1 only ever uses
+///   * (grid) applications, and
+///   * red pins on terms with no incoming green edge (the grid's "column"
+///     terms: the start of each row's red chain).
+/// This strategy therefore
+///   * skips (loop)           - only relevant for Boolean queries,
+///   * skips (pins_g)         - green pins never feed the grid,
+///   * allows (pins_r) on a term only if it has no incoming G edge,
+///   * allows (grid) always.
+/// The filtered chase is a *subset* of the real chase, so any query match
+/// found in it is correct ("yes" answers are sound); tests validate against
+/// the unfiltered chase on small instances that "no" answers agree too for
+/// the phi_R^n family.
+ChaseFilter TdWitnessStrategy(const Vocabulary& vocab, const Theory& td);
+
+/// The analogous strategy for `T_d^K` (Section 12): skips (loop) and
+/// (pins_1), and allows (pins_k) on a term `t` only if
+///   * `t` has no incoming I_j edge for any j < k (grid columns at level k
+///     have incoming I_k only), or
+///   * `t` is a constant of the input instance with an outgoing I_{k-1}
+///     edge - the base of a level-(k-1) rail, where the level-k grid's
+///     column chain must start (the composed witnesses of Theorem 6 anchor
+///     level-k structure at the *end* of the level-1 path, which has
+///     incoming I_1 and so fails the first clause).
+/// As with TdWitnessStrategy, the filtered chase under-approximates the
+/// real one, so "yes" answers are sound.
+ChaseFilter TdKWitnessStrategy(const Vocabulary& vocab, const Theory& tdk,
+                               uint32_t k, const FactSet& db);
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_CATALOG_STRATEGIES_H_

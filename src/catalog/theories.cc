@@ -1,0 +1,144 @@
+#include "catalog/theories.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "tgd/parser.h"
+
+namespace frontiers {
+
+namespace {
+
+// All catalog theories are written in the parser DSL; a parse failure here
+// is a programming error.
+Theory MustParse(Vocabulary& vocab, const std::string& text,
+                 const std::string& name) {
+  Result<Theory> theory = ParseTheory(vocab, text, name);
+  if (!theory.ok()) {
+    std::fprintf(stderr, "frontiers: catalog theory '%s' failed to parse: %s\n",
+                 name.c_str(), theory.status().message().c_str());
+    std::abort();
+  }
+  return std::move(theory).value();
+}
+
+}  // namespace
+
+Theory MotherTheory(Vocabulary& vocab) {
+  return MustParse(vocab,
+                   R"(
+    mother: Human(y) -> exists z . Mother(y,z)
+    human: Mother(x,y) -> Human(y)
+  )",
+                   "T_a");
+}
+
+Theory ForwardPathTheory(Vocabulary& vocab) {
+  return MustParse(vocab, "step: E(x,y) -> exists z . E(y,z)", "T_p");
+}
+
+Theory Exercise23Theory(Vocabulary& vocab) {
+  return MustParse(vocab,
+                   R"(
+    step: E(x,y) -> exists z . E(y,z)
+    loopback: E(x,x1), E(x1,x2) -> E(x1,x1)
+  )",
+                   "Ex23");
+}
+
+Theory TruncatedInfiniteTheory(Vocabulary& vocab, uint32_t levels) {
+  std::string text;
+  for (uint32_t i = 1; i <= levels; ++i) {
+    text += "down" + std::to_string(i) + ": E" + std::to_string(i) +
+            "(x,y) -> exists z . E" + std::to_string(i - 1) + "(y,z)\n";
+  }
+  return MustParse(vocab, text, "Ex28_K" + std::to_string(levels));
+}
+
+Theory StickyExample39Theory(Vocabulary& vocab) {
+  return MustParse(
+      vocab, "see: E4(x,y,y1,t), R(x,t1) -> exists y2 . E4(x,y1,y2,t1)",
+      "Ex39");
+}
+
+Theory Example41Theory(Vocabulary& vocab) {
+  return MustParse(vocab, "pass: E3(x,y,z), R(x,z) -> R(y,z)", "Ex41");
+}
+
+Theory TcTheory(Vocabulary& vocab) {
+  return MustParse(vocab,
+                   R"(
+    start: E(x,y) -> exists x1,y1 . R4(x,y,x1,y1)
+    walk: R4(x,y,x1,y1), E(y,z) -> exists z1 . R4(y,z,y1,z1)
+  )",
+                   "T_c");
+}
+
+Theory TdTheory(Vocabulary& vocab) {
+  return MustParse(vocab,
+                   R"(
+    loop: true -> exists x . R(x,x), G(x,x)
+    pins_r: true -> exists z . R(x,z)
+    pins_g: true -> exists z1 . G(x,z1)
+    grid: R(x,x1), G(x,u), G(u,u1) -> exists z . R(u1,z), G(x1,z)
+  )",
+                   "T_d");
+}
+
+Theory TdSingleHeadTheory(Vocabulary& vocab) {
+  // Footnote 31 encoding: LoopPt marks the (loop) witness, Grid3 carries
+  // the shared existential of (grid); Datalog rules project onto R and G.
+  return MustParse(vocab,
+                   R"(
+    loop: true -> exists x . LoopPt(x)
+    loop_r: LoopPt(x) -> R(x,x)
+    loop_g: LoopPt(x) -> G(x,x)
+    pins_r: true -> exists z . R(x,z)
+    pins_g: true -> exists z1 . G(x,z1)
+    grid: R(x,x1), G(x,u), G(u,u1) -> exists z . Grid3(u1,x1,z)
+    grid_r: Grid3(u1,x1,z) -> R(u1,z)
+    grid_g: Grid3(u1,x1,z) -> G(x1,z)
+  )",
+                   "T_d_single_head");
+}
+
+std::string TdKPredicateName(uint32_t level) {
+  return "I" + std::to_string(level);
+}
+
+Theory TdKTheory(Vocabulary& vocab, uint32_t k) {
+  std::string text;
+  // (loop): one multi-head rule putting a self-loop of every colour on a
+  // single invented point.
+  text += "loop: true -> exists x . ";
+  for (uint32_t i = k; i >= 1; --i) {
+    text += TdKPredicateName(i) + "(x,x)";
+    text += (i == 1) ? "\n" : ", ";
+  }
+  // (pins_k) rules.
+  for (uint32_t i = 1; i <= k; ++i) {
+    text += "pins_" + std::to_string(i) + ": true -> exists z . " +
+            TdKPredicateName(i) + "(x,z)\n";
+  }
+  // (grid_i) rules.
+  for (uint32_t i = 1; i + 1 <= k; ++i) {
+    const std::string hi = TdKPredicateName(i + 1);
+    const std::string lo = TdKPredicateName(i);
+    text += "grid_" + std::to_string(i) + ": " + hi + "(x,x1), " + lo +
+            "(x,u), " + lo + "(u,u1) -> exists z . " + hi + "(u1,z), " + lo +
+            "(x1,z)\n";
+  }
+  return MustParse(vocab, text, "T_d^" + std::to_string(k));
+}
+
+Theory Example66Theory(Vocabulary& vocab) {
+  return MustParse(vocab,
+                   R"(
+    extend: E(x,y), R(z,y) -> exists v . E(y,v)
+    paint: E(x,y), P(z) -> R(z,y)
+  )",
+                   "Ex66");
+}
+
+}  // namespace frontiers

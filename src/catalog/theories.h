@@ -1,0 +1,86 @@
+#ifndef FRONTIERS_CATALOG_THEORIES_H_
+#define FRONTIERS_CATALOG_THEORIES_H_
+
+#include <cstdint>
+
+#include "base/vocabulary.h"
+#include "tgd/tgd.h"
+
+namespace frontiers {
+
+/// Every named theory of the paper, built against a shared `Vocabulary`.
+/// Rule labels follow the paper's names ((loop), (pins), (grid), ...) so
+/// that strategies (catalog/strategies.h) and reports can refer to them.
+
+/// `T_a` of Example 1:
+///   Human(y) -> exists z Mother(y,z)
+///   Mother(x,y) -> Human(y)
+Theory MotherTheory(Vocabulary& vocab);
+
+/// `T_p` of Exercise 12 (BDD but not Core-Terminating):
+///   E(x,y) -> exists z E(y,z)
+Theory ForwardPathTheory(Vocabulary& vocab);
+
+/// Exercise 23 (Core-Terminating but not All-Instances-Terminating):
+///   E(x,y) -> exists z E(y,z)
+///   E(x,x'), E(x',x'') -> E(x',x')
+Theory Exercise23Theory(Vocabulary& vocab);
+
+/// Example 28 truncated to K levels (the infinite-signature counterexample
+/// to the FUS/FES conjecture; only finitely many levels can meet any given
+/// uniform bound candidate):
+///   E_i(x,y) -> exists z E_{i-1}(y,z)     for 1 <= i <= K
+Theory TruncatedInfiniteTheory(Vocabulary& vocab, uint32_t levels);
+
+/// Example 39 (sticky, BDD, *not* local):
+///   E4(x,y,y',t), R(x,t') -> exists y'' E4(x,y',y'',t')   (E4 has arity 4)
+Theory StickyExample39Theory(Vocabulary& vocab);
+
+/// Example 41 (bounded-degree local but *not* BDD):
+///   E3(x,y,z), R(x,z) -> R(y,z)
+Theory Example41Theory(Vocabulary& vocab);
+
+/// `T_c` of Example 42 (BDD but *not* bd-local):
+///   E(x,y) -> exists x',y' R(x,y,x',y')
+///   R(x,y,x',y'), E(y,z) -> exists z' R(y,z,y',z')
+Theory TcTheory(Vocabulary& vocab);
+
+/// `T_d` of Definition 45 (BDD, not distancing; Sections 10-11), in the
+/// paper's multi-head form with one divergence: the (pins) rule
+/// `true -> exists z,z' R(x,z), G(x,z')` is split into two rules
+/// (pins_r) `true -> exists z R(x,z)` and (pins_g) `true -> exists z' G(x,z')`.
+/// The two existentials of (pins) are independent, so under the
+/// semi-oblivious chase the split produces an isomorphic structure, and
+/// BDD/locality/distancing status is unaffected; the split lets chase
+/// strategies control red and green pins separately.
+/// Rules, labelled: (loop) true -> exists x R(x,x), G(x,x);
+/// (pins_r), (pins_g); (grid) R(x,x'), G(x,u), G(u,u')
+///                               -> exists z R(u',z), G(x',z).
+Theory TdTheory(Vocabulary& vocab);
+
+/// The single-head encoding of `T_d` sketched in footnote 31: auxiliary
+/// predicates replace the multi-head rules, with Datalog projections onto
+/// R and G.  Used to drive the general piece-rewriting engine (which
+/// requires single-head rules) on T_d; the chase's R/G reduct agrees with
+/// TdTheory's (tested).
+Theory TdSingleHeadTheory(Vocabulary& vocab);
+
+/// `T_d^K` of Section 12, over signature {I_K,...,I_1}:
+///   (loop)    true -> exists x I_K(x,x), ..., I_1(x,x)
+///   (pins_k)  true -> exists z I_k(x,z)                     1 <= k <= K
+///   (grid_i)  I_{i+1}(x,x'), I_i(x,u), I_i(u,u')
+///                -> exists z I_{i+1}(u',z), I_i(x',z)       1 <= i < K
+/// For K = 2 this is exactly T_d with I_2 = R and I_1 = G.
+Theory TdKTheory(Vocabulary& vocab, uint32_t k);
+
+/// Example 66 (Section 13; the theory defeating the naive Crucial Lemma):
+///   E(x,y), R(z,y) -> exists v E(y,v)
+///   E(x,y), P(z) -> R(z,y)
+Theory Example66Theory(Vocabulary& vocab);
+
+/// The name of the k-th level predicate of TdKTheory ("I1", ..., "IK").
+std::string TdKPredicateName(uint32_t level);
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_CATALOG_THEORIES_H_

@@ -1,0 +1,347 @@
+#include "chase/chase.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "hom/matcher.h"
+#include "hom/structure_ops.h"
+
+namespace frontiers {
+
+FactSet ChaseResult::PrefixAtDepth(uint32_t i) const {
+  FactSet out;
+  for (size_t k = 0; k < facts.atoms().size(); ++k) {
+    if (depth[k] <= i) out.Insert(facts.atoms()[k]);
+  }
+  return out;
+}
+
+std::optional<uint32_t> ChaseResult::DepthOf(const Atom& atom) const {
+  std::optional<uint32_t> idx = facts.IndexOf(atom);
+  if (!idx.has_value()) return std::nullopt;
+  return depth[*idx];
+}
+
+ChaseEngine::ChaseEngine(Vocabulary& vocab, const Theory& theory)
+    : vocab_(vocab), theory_(theory) {
+  skolemized_.reserve(theory_.rules.size());
+  for (const Tgd& rule : theory_.rules) {
+    skolemized_.push_back(Skolemize(vocab_, rule));
+  }
+}
+
+std::vector<Atom> ChaseEngine::ApplyRule(size_t rule_index,
+                                         const Substitution& sigma) const {
+  const Tgd& rule = theory_.rules[rule_index];
+  const SkolemizedHead& sh = skolemized_[rule_index];
+  // Skolem argument tuple: sigma applied to the universal head variables.
+  std::vector<TermId> fn_args;
+  fn_args.reserve(sh.fn_args.size());
+  for (TermId v : sh.fn_args) fn_args.push_back(Apply(sigma, v));
+
+  std::vector<Atom> out;
+  out.reserve(rule.head.size());
+  std::unordered_map<TermId, TermId> skolem_value;
+  for (const Atom& head_atom : rule.head) {
+    Atom atom;
+    atom.predicate = head_atom.predicate;
+    atom.args.reserve(head_atom.args.size());
+    for (TermId t : head_atom.args) {
+      auto fn = sh.fn_of.find(t);
+      if (fn != sh.fn_of.end()) {
+        auto cached = skolem_value.find(t);
+        if (cached == skolem_value.end()) {
+          cached =
+              skolem_value.emplace(t, vocab_.SkolemTerm(fn->second, fn_args))
+                  .first;
+        }
+        atom.args.push_back(cached->second);
+      } else {
+        atom.args.push_back(Apply(sigma, t));
+      }
+    }
+    out.push_back(std::move(atom));
+  }
+  return out;
+}
+
+namespace {
+
+// A staged rule application produced while scanning one round.
+struct StagedApplication {
+  size_t rule_index;
+  std::vector<Atom> atoms;
+  std::vector<uint32_t> parents;
+  // Which argument positions of which staged atoms hold freshly-invented
+  // terms (existential positions); used for birth-atom bookkeeping.
+  std::vector<std::vector<bool>> existential_position;
+  // Restricted variant only: the head's universal-variable binding, for
+  // the commit-time satisfaction recheck.
+  Substitution head_initial;
+};
+
+}  // namespace
+
+ChaseResult ChaseEngine::Run(const FactSet& db,
+                             const ChaseOptions& options) const {
+  ChaseResult result;
+  result.facts = db;
+  result.depth.assign(db.size(), 0);
+  const bool provenance =
+      options.track_provenance || options.record_all_derivations;
+  if (provenance) {
+    result.first_derivation.assign(db.size(), std::nullopt);
+  }
+  if (options.record_all_derivations) {
+    result.all_derivations.assign(db.size(), {});
+  }
+
+  // Per-rule: positions of existential variables in each head atom.
+  std::vector<std::vector<std::vector<bool>>> existential_positions;
+  existential_positions.reserve(theory_.rules.size());
+  for (const Tgd& rule : theory_.rules) {
+    std::unordered_set<TermId> ex(rule.existential_vars.begin(),
+                                  rule.existential_vars.end());
+    std::vector<std::vector<bool>> per_atom;
+    for (const Atom& head_atom : rule.head) {
+      std::vector<bool> positions(head_atom.args.size(), false);
+      for (size_t i = 0; i < head_atom.args.size(); ++i) {
+        positions[i] = ex.count(head_atom.args[i]) > 0;
+      }
+      per_atom.push_back(std::move(positions));
+    }
+    existential_positions.push_back(std::move(per_atom));
+  }
+
+  // Rules that cannot be driven purely by atom deltas: nonempty body plus
+  // domain variables.  They are re-enumerated naively every round.
+  std::vector<bool> needs_naive(theory_.rules.size(), false);
+  for (size_t r = 0; r < theory_.rules.size(); ++r) {
+    const Tgd& rule = theory_.rules[r];
+    if (!rule.body.empty() && !rule.domain_vars.empty()) {
+      needs_naive[r] = true;
+    }
+  }
+
+  // Delta of the previous round: atom indices and first-seen terms.
+  std::vector<uint32_t> delta_atoms(db.size());
+  for (uint32_t i = 0; i < db.size(); ++i) delta_atoms[i] = i;
+  std::vector<TermId> delta_terms = db.Domain();
+
+  uint32_t round = 0;
+  bool atom_budget_hit = false;
+  while (round < options.max_rounds && !atom_budget_hit) {
+    std::vector<StagedApplication> staged;
+    Matcher matcher(vocab_, result.facts);
+
+    auto stage_match = [&](size_t rule_index, const Substitution& sigma) {
+      if (options.filter && !options.filter(rule_index, sigma, result.facts)) {
+        return;
+      }
+      StagedApplication app;
+      if (options.variant == ChaseVariant::kRestricted) {
+        // Fire only when the head is not already witnessed in the stage;
+        // re-checked at commit time so applications earlier in the same
+        // round can preempt later ones (the sequential-chase behaviour).
+        const Tgd& rule = theory_.rules[rule_index];
+        std::unordered_set<TermId> head_existentials(
+            rule.existential_vars.begin(), rule.existential_vars.end());
+        for (TermId v : rule.head_universal_vars) {
+          app.head_initial.emplace(v, Apply(sigma, v));
+        }
+        if (matcher.Exists(rule.head, head_existentials, app.head_initial)) {
+          return;
+        }
+      }
+      app.rule_index = rule_index;
+      app.atoms = ApplyRule(rule_index, sigma);
+      app.existential_position = existential_positions[rule_index];
+      if (provenance) {
+        for (const Atom& body_atom : theory_.rules[rule_index].body) {
+          Atom instantiated = Apply(sigma, body_atom);
+          std::optional<uint32_t> idx = result.facts.IndexOf(instantiated);
+          if (idx.has_value()) app.parents.push_back(*idx);
+        }
+      }
+      staged.push_back(std::move(app));
+    };
+
+    for (size_t r = 0; r < theory_.rules.size(); ++r) {
+      const Tgd& rule = theory_.rules[r];
+      // Stage-dependent filters can start accepting an application that
+      // they rejected in an earlier round; delta evaluation would never
+      // re-offer it.  Domain-variable rules (pins) are therefore
+      // re-enumerated naively whenever a filter is installed (they are
+      // cheap: one candidate per domain tuple).  Body-match rules stay
+      // delta-driven; filters must be monotone-accepting for them (all
+      // catalog strategies decide body rules statically).
+      const bool filter_forces_naive =
+          options.filter && rule.body.empty() && !rule.domain_vars.empty();
+      const bool use_delta = options.semi_naive && round > 0 &&
+                             !needs_naive[r] && !filter_forces_naive;
+
+      if (rule.body.empty()) {
+        if (rule.domain_vars.empty()) {
+          // Fires identically in every round; once is enough.
+          if (round == 0) stage_match(r, Substitution{});
+          continue;
+        }
+        // Pins-style rule: enumerate domain-variable assignments.  Under
+        // delta evaluation only tuples touching a new term are fresh.
+        const std::vector<TermId>& full_domain = result.facts.Domain();
+        const std::unordered_set<TermId> new_terms(delta_terms.begin(),
+                                                   delta_terms.end());
+        std::function<void(Substitution&, size_t, bool)> enumerate =
+            [&](Substitution& sub, size_t i, bool used_new) {
+              if (i == rule.domain_vars.size()) {
+                if (!use_delta || used_new) stage_match(r, sub);
+                return;
+              }
+              for (TermId t : full_domain) {
+                sub[rule.domain_vars[i]] = t;
+                enumerate(sub, i + 1,
+                          used_new || (use_delta && new_terms.count(t) > 0));
+              }
+              sub.erase(rule.domain_vars[i]);
+            };
+        Substitution sub;
+        enumerate(sub, 0, false);
+        continue;
+      }
+
+      std::unordered_set<TermId> mappable(rule.body_vars.begin(),
+                                          rule.body_vars.end());
+      if (!use_delta) {
+        ForEachBodyMatch(vocab_, rule, result.facts,
+                         [&](const Substitution& sigma) {
+                           stage_match(r, sigma);
+                           return true;
+                         });
+        continue;
+      }
+      // Semi-naive: seed each body atom with each delta atom in turn, then
+      // complete the match against the full current stage.  Matches seen
+      // through several seeds stage duplicate applications, which collapse
+      // at insertion.
+      for (size_t j = 0; j < rule.body.size(); ++j) {
+        std::vector<Atom> rest;
+        rest.reserve(rule.body.size() - 1);
+        for (size_t k = 0; k < rule.body.size(); ++k) {
+          if (k != j) rest.push_back(rule.body[k]);
+        }
+        for (uint32_t d : delta_atoms) {
+          const Atom& fact = result.facts.atoms()[d];
+          if (fact.predicate != rule.body[j].predicate) continue;
+          Substitution seed;
+          if (!UnifyAtomWithFact(rule.body[j], fact, mappable, seed)) {
+            continue;
+          }
+          matcher.ForEach(rest, mappable, seed,
+                          [&](const Substitution& sigma) {
+                            stage_match(r, sigma);
+                            return true;
+                          });
+        }
+      }
+    }
+
+    if (options.variant == ChaseVariant::kRestricted) {
+      // Commit non-inventing (Datalog) applications first: a Datalog atom
+      // may witness an existential head and preempt a fresh term - the
+      // standard restricted-chase preference that lets e.g. symmetry
+      // rules terminate successor rules.
+      std::stable_partition(staged.begin(), staged.end(),
+                            [this](const StagedApplication& app) {
+                              return IsDatalogRule(
+                                  theory_.rules[app.rule_index]);
+                            });
+    }
+
+    // Commit the round: insert staged atoms in order.
+    std::vector<uint32_t> new_delta_atoms;
+    std::vector<TermId> new_delta_terms;
+    std::unordered_set<TermId> known_terms(result.facts.Domain().begin(),
+                                           result.facts.Domain().end());
+    for (const StagedApplication& app : staged) {
+      if (options.variant == ChaseVariant::kRestricted) {
+        const Tgd& rule = theory_.rules[app.rule_index];
+        std::unordered_set<TermId> head_existentials(
+            rule.existential_vars.begin(), rule.existential_vars.end());
+        Matcher commit_matcher(vocab_, result.facts);
+        if (commit_matcher.Exists(rule.head, head_existentials,
+                                  app.head_initial)) {
+          continue;  // an earlier application this round satisfied it
+        }
+      }
+      for (size_t a = 0; a < app.atoms.size(); ++a) {
+        const Atom& atom = app.atoms[a];
+        bool inserted = result.facts.Insert(atom);
+        uint32_t idx = *result.facts.IndexOf(atom);
+        if (inserted) {
+          result.depth.push_back(round + 1);
+          new_delta_atoms.push_back(idx);
+          if (provenance) {
+            result.first_derivation.push_back(
+                Derivation{app.rule_index, app.parents});
+          }
+          if (options.record_all_derivations) {
+            result.all_derivations.push_back(
+                {Derivation{app.rule_index, app.parents}});
+          }
+          for (size_t pos = 0; pos < atom.args.size(); ++pos) {
+            TermId t = atom.args[pos];
+            if (known_terms.insert(t).second) {
+              new_delta_terms.push_back(t);
+            }
+            if (app.existential_position[a][pos] &&
+                result.birth_atom.find(t) == result.birth_atom.end()) {
+              result.birth_atom.emplace(t, idx);
+            }
+          }
+        } else if (options.record_all_derivations) {
+          Derivation d{app.rule_index, app.parents};
+          std::vector<Derivation>& list = result.all_derivations[idx];
+          bool duplicate = false;
+          for (const Derivation& existing : list) {
+            if (existing.rule_index == d.rule_index &&
+                existing.parents == d.parents) {
+              duplicate = true;
+              break;
+            }
+          }
+          if (!duplicate) list.push_back(std::move(d));
+        }
+      }
+      if (result.facts.size() > options.max_atoms) {
+        atom_budget_hit = true;
+        break;
+      }
+    }
+
+    if (atom_budget_hit) {
+      // The last round is partial: complete_rounds stays at `round`.
+      result.stop = ChaseStop::kAtomBudget;
+      result.complete_rounds = round;
+      return result;
+    }
+    if (new_delta_atoms.empty()) {
+      result.stop = ChaseStop::kFixpoint;
+      result.complete_rounds = round;
+      return result;
+    }
+    delta_atoms = std::move(new_delta_atoms);
+    delta_terms = std::move(new_delta_terms);
+    ++round;
+  }
+  result.stop = ChaseStop::kRoundBudget;
+  result.complete_rounds = round;
+  return result;
+}
+
+ChaseResult ChaseEngine::RunToDepth(const FactSet& db, uint32_t rounds) const {
+  ChaseOptions options;
+  options.max_rounds = rounds;
+  return Run(db, options);
+}
+
+}  // namespace frontiers

@@ -1,0 +1,144 @@
+#ifndef FRONTIERS_CHASE_CHASE_H_
+#define FRONTIERS_CHASE_CHASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/fact_set.h"
+#include "base/vocabulary.h"
+#include "tgd/substitution.h"
+#include "tgd/tgd.h"
+
+namespace frontiers {
+
+/// Why a chase run stopped.
+enum class ChaseStop {
+  kFixpoint,     ///< A round produced nothing new: Ch(T,D) = Ch_i(T,D).
+  kRoundBudget,  ///< max_rounds complete rounds were computed.
+  kAtomBudget,   ///< The atom budget was hit (the last round may be partial).
+};
+
+/// One recorded derivation of an atom: which rule fired and which atoms
+/// (indices into the chase's fact store) the body was matched to.  This is
+/// the *parent function* `par_T` of Section 13.
+struct Derivation {
+  size_t rule_index = 0;
+  std::vector<uint32_t> parents;
+};
+
+/// Which chase variant to run.
+enum class ChaseVariant {
+  /// The paper's semi-oblivious Skolem chase (Definition 6): every body
+  /// match fires once per frontier assignment.
+  kSemiOblivious,
+  /// The *restricted* (standard) chase: a match fires only if the head is
+  /// not yet satisfied in the current stage (footnote 19 distinguishes the
+  /// two for termination purposes).  Applications are checked against the
+  /// stage at the start of their round, so rounds remain parallel; the
+  /// result is still a universal model but may terminate where the
+  /// semi-oblivious chase does not.
+  kRestricted,
+};
+
+/// Options controlling a chase run.
+struct ChaseOptions {
+  /// Chase flavour; experiments default to the paper's semi-oblivious one.
+  ChaseVariant variant = ChaseVariant::kSemiOblivious;
+  /// Maximum number of complete rounds (the `i` of `Ch_i`).
+  uint32_t max_rounds = 64;
+  /// Safety budget on the total number of atoms.
+  size_t max_atoms = 2'000'000;
+  /// Use semi-naive (delta-driven) evaluation.  Disabling re-enumerates all
+  /// matches each round; exists as an ablation (see DESIGN.md).
+  bool semi_naive = true;
+  /// Record the first derivation of every produced atom.
+  bool track_provenance = false;
+  /// Record *every* derivation of every produced atom (implies
+  /// track_provenance; memory-heavy, used by the ancestor experiments of
+  /// Section 13 where the adversarial choice among derivations matters).
+  bool record_all_derivations = false;
+  /// Optional application filter ("strategy"): called before each rule
+  /// application with the rule index, the body/domain-variable match, and
+  /// the current stage; returning false skips the application.  Used by
+  /// experiments to run sound under-approximations of theories whose full
+  /// chase explodes (e.g. skipping (pins) on terms that provably cannot
+  /// contribute to a target query; see catalog/strategies.h).  The
+  /// resulting structure is a subset of the true chase, so query
+  /// satisfaction remains sound.
+  std::function<bool(size_t rule_index, const Substitution& sigma,
+                     const FactSet& stage)>
+      filter;
+};
+
+/// The result of a chase run: the structure plus per-atom metadata.
+///
+/// Atoms are indexed by their position in `facts.atoms()`; input atoms come
+/// first (depth 0) and every derived atom records the round that created it,
+/// so `PrefixAtDepth(i)` recovers exactly `Ch_i(T, D)` for every
+/// `i <= complete_rounds`.
+struct ChaseResult {
+  FactSet facts;
+  /// Round at which each atom (by index) entered the structure.
+  std::vector<uint32_t> depth;
+  /// Number of *complete* rounds: facts includes all of Ch_{complete_rounds}.
+  uint32_t complete_rounds = 0;
+  ChaseStop stop = ChaseStop::kFixpoint;
+  /// First derivation per atom (empty unless track_provenance); input atoms
+  /// have no derivation.
+  std::vector<std::optional<Derivation>> first_derivation;
+  /// All derivations per atom (empty unless record_all_derivations).
+  std::vector<std::vector<Derivation>> all_derivations;
+  /// Birth atom (Observation 10) of each chase-created term: the index of
+  /// the unique atom in which the term first occurs outside the frontier.
+  std::unordered_map<TermId, uint32_t> birth_atom;
+
+  /// True iff the chase reached a fixpoint, i.e. the (semi-oblivious) chase
+  /// of this instance terminates: Ch(T,D) = Ch_{complete_rounds}(T,D).
+  bool Terminated() const { return stop == ChaseStop::kFixpoint; }
+
+  /// The stage `Ch_i(T, D)`: all atoms of depth <= i.  Requires
+  /// i <= complete_rounds to be exact.
+  FactSet PrefixAtDepth(uint32_t i) const;
+
+  /// Depth of the first atom equal to `atom`, or nullopt if absent.
+  std::optional<uint32_t> DepthOf(const Atom& atom) const;
+};
+
+/// The semi-oblivious Skolem chase of Definition 6.
+///
+/// `Ch_0 = D`; each round applies, in parallel, every rule to every body
+/// match of the *current* stage, adding the skolemized heads (Definitions
+/// 4-5).  Skolem terms are hash-consed in the shared `Vocabulary`, so runs
+/// over sub-instances produce literally comparable atoms (Observation 8).
+class ChaseEngine {
+ public:
+  /// Prepares the engine: interns Skolem functions for every rule head.
+  ChaseEngine(Vocabulary& vocab, const Theory& theory);
+
+  /// Runs the chase from `db` under `options`.
+  ChaseResult Run(const FactSet& db, const ChaseOptions& options) const;
+
+  /// Convenience: runs exactly `rounds` rounds (or to fixpoint, whichever
+  /// comes first) with default budgets.
+  ChaseResult RunToDepth(const FactSet& db, uint32_t rounds) const;
+
+  /// The theory this engine chases.
+  const Theory& theory() const { return theory_; }
+
+  /// Computes `appl(rho, sigma)` (Definition 5) for rule `rule_index`: the
+  /// instantiated, skolemized head atoms under `sigma`.
+  std::vector<Atom> ApplyRule(size_t rule_index,
+                              const Substitution& sigma) const;
+
+ private:
+  Vocabulary& vocab_;
+  Theory theory_;
+  std::vector<SkolemizedHead> skolemized_;
+};
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_CHASE_CHASE_H_

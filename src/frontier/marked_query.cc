@@ -1,0 +1,261 @@
+#include "frontier/marked_query.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "hom/matcher.h"
+#include "tgd/substitution.h"
+
+namespace frontiers {
+
+TdContext TdContext::Make(Vocabulary& vocab) {
+  return TdContext{vocab.AddPredicate("R", 2), vocab.AddPredicate("G", 2)};
+}
+
+std::vector<TermId> Variables(const Vocabulary& vocab, const MarkedQuery& q) {
+  return QueryVariables(vocab, q.query);
+}
+
+namespace {
+
+// Edges of the query as (source, target) pairs, colour-tagged.
+struct Edge {
+  TermId source;
+  TermId target;
+  bool red;
+};
+
+std::vector<Edge> EdgesOf(const TdContext& ctx, const MarkedQuery& q) {
+  std::vector<Edge> edges;
+  for (const Atom& atom : q.query.atoms) {
+    if (atom.args.size() != 2) continue;
+    edges.push_back(
+        {atom.args[0], atom.args[1], atom.predicate == ctx.red});
+  }
+  return edges;
+}
+
+}  // namespace
+
+bool IsProperlyMarked(const Vocabulary& vocab, const TdContext& ctx,
+                      const MarkedQuery& q) {
+  std::vector<Edge> edges = EdgesOf(ctx, q);
+
+  // (i) marked target forces marked source.
+  for (const Edge& e : edges) {
+    if (vocab.IsVariable(e.target) && !q.IsMarked(e.target)) continue;
+    // Constants count as marked (they are elements of dom(D)).
+    if (vocab.IsVariable(e.source) && !q.IsMarked(e.source)) return false;
+  }
+
+  // (iii) co-targets of same-coloured edges share marking.
+  for (const Edge& a : edges) {
+    for (const Edge& b : edges) {
+      if (a.red != b.red || a.target != b.target) continue;
+      bool a_marked = !vocab.IsVariable(a.source) || q.IsMarked(a.source);
+      bool b_marked = !vocab.IsVariable(b.source) || q.IsMarked(b.source);
+      if (a_marked != b_marked) return false;
+    }
+  }
+
+  // (ii) no directed cycle through an unmarked variable.  Unmarked
+  // variables on a cycle lie in a non-trivial SCC (or carry a self-loop)
+  // of the directed edge graph.
+  std::unordered_map<TermId, std::vector<TermId>> out;
+  for (const Edge& e : edges) {
+    out[e.source].push_back(e.target);
+    if (e.source == e.target && vocab.IsVariable(e.source) &&
+        !q.IsMarked(e.source)) {
+      return false;
+    }
+  }
+  // Tarjan-free approach: iterative DFS reachability - a variable is on a
+  // cycle iff it can reach itself through at least one edge.
+  for (TermId v : Variables(vocab, q)) {
+    if (q.IsMarked(v)) continue;
+    // BFS from v's successors.
+    std::vector<TermId> stack = out[v];
+    std::unordered_set<TermId> seen;
+    bool on_cycle = false;
+    while (!stack.empty() && !on_cycle) {
+      TermId cur = stack.back();
+      stack.pop_back();
+      if (cur == v) {
+        on_cycle = true;
+        break;
+      }
+      if (!seen.insert(cur).second) continue;
+      auto it = out.find(cur);
+      if (it != out.end()) {
+        for (TermId next : it->second) stack.push_back(next);
+      }
+    }
+    if (on_cycle) return false;
+  }
+  return true;
+}
+
+bool IsTotallyMarked(const Vocabulary& vocab, const MarkedQuery& q) {
+  for (TermId v : Variables(vocab, q)) {
+    if (!q.IsMarked(v)) return false;
+  }
+  return true;
+}
+
+bool IsLive(const Vocabulary& vocab, const TdContext& ctx,
+            const MarkedQuery& q) {
+  return IsProperlyMarked(vocab, ctx, q) && !IsTotallyMarked(vocab, q);
+}
+
+std::optional<TermId> FindMaximalVariable(const Vocabulary& vocab,
+                                          const TdContext& ctx,
+                                          const MarkedQuery& q) {
+  std::unordered_set<TermId> has_outgoing;
+  for (const Edge& e : EdgesOf(ctx, q)) has_outgoing.insert(e.source);
+  for (TermId v : Variables(vocab, q)) {
+    if (!q.IsMarked(v) && has_outgoing.count(v) == 0) return v;
+  }
+  return std::nullopt;
+}
+
+bool HoldsMarked(const Vocabulary& vocab, const MarkedQuery& q,
+                 const FactSet& chase,
+                 const std::unordered_set<TermId>& db_domain,
+                 const std::vector<TermId>& answer) {
+  if (answer.size() != q.query.answer_vars.size()) return false;
+  Substitution initial;
+  for (size_t i = 0; i < answer.size(); ++i) {
+    auto it = initial.find(q.query.answer_vars[i]);
+    if (it != initial.end() && it->second != answer[i]) return false;
+    initial.emplace(q.query.answer_vars[i], answer[i]);
+  }
+  std::unordered_set<TermId> mappable;
+  for (TermId v : Variables(vocab, q)) {
+    if (initial.find(v) == initial.end()) mappable.insert(v);
+  }
+  Matcher matcher(vocab, chase);
+  bool found = false;
+  matcher.ForEach(q.query.atoms, mappable, initial,
+                  [&](const Substitution& sub) {
+                    for (TermId v : Variables(vocab, q)) {
+                      bool in_db = db_domain.count(Apply(sub, v)) > 0;
+                      if (in_db != q.IsMarked(v)) return true;  // keep looking
+                    }
+                    found = true;
+                    return false;
+                  });
+  return found;
+}
+
+std::vector<ConjunctiveQuery> ExpandDanglingAnswerVars(
+    Vocabulary& vocab, const std::vector<PredicateId>& predicates,
+    const ConjunctiveQuery& query) {
+  std::unordered_set<TermId> present;
+  for (const Atom& atom : query.atoms) {
+    for (TermId t : atom.args) present.insert(t);
+  }
+  TermId dangling = kNoTerm;
+  for (TermId v : query.answer_vars) {
+    if (present.count(v) == 0) {
+      dangling = v;
+      break;
+    }
+  }
+  if (dangling == kNoTerm) return {query};
+  std::vector<ConjunctiveQuery> out;
+  for (PredicateId pred : predicates) {
+    const uint32_t arity = vocab.PredicateArity(pred);
+    for (uint32_t pos = 0; pos < arity; ++pos) {
+      ConjunctiveQuery expanded = query;
+      Atom atom;
+      atom.predicate = pred;
+      for (uint32_t i = 0; i < arity; ++i) {
+        atom.args.push_back(i == pos ? dangling
+                                     : vocab.FreshVariable("adom"));
+      }
+      expanded.atoms.push_back(std::move(atom));
+      // Recurse: several answer variables may dangle.
+      for (ConjunctiveQuery& final_query :
+           ExpandDanglingAnswerVars(vocab, predicates, expanded)) {
+        out.push_back(std::move(final_query));
+      }
+    }
+  }
+  return out;
+}
+
+std::string CanonicalKey(const Vocabulary& vocab, const MarkedQuery& q) {
+  // Render atoms with variables numbered by first occurrence under a
+  // deterministic atom ordering, iterating once to stabilize.
+  std::vector<Atom> atoms = q.query.atoms;
+  auto render = [&](const std::unordered_map<TermId, int>& naming) {
+    std::vector<std::string> parts;
+    for (const Atom& atom : atoms) {
+      std::string s = vocab.PredicateName(atom.predicate) + "(";
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        if (i > 0) s += ",";
+        TermId t = atom.args[i];
+        auto it = naming.find(t);
+        if (it != naming.end()) {
+          s += "v" + std::to_string(it->second);
+        } else if (vocab.IsVariable(t)) {
+          s += q.IsMarked(t) ? "M?" : "U?";
+        } else {
+          s += vocab.TermToString(t);
+        }
+        if (vocab.IsVariable(t)) s += q.IsMarked(t) ? "+" : "-";
+      }
+      s += ")";
+      parts.push_back(std::move(s));
+    }
+    std::sort(parts.begin(), parts.end());
+    std::string out;
+    for (const std::string& p : parts) out += p + ";";
+    return out;
+  };
+
+  // Pass 1: answer variables get fixed numbers; others unnamed.
+  std::unordered_map<TermId, int> naming;
+  int next = 0;
+  for (TermId v : q.query.answer_vars) {
+    if (naming.find(v) == naming.end()) naming[v] = next++;
+  }
+  // Pass 2: name remaining variables in order of appearance within the
+  // sorted rendering of pass 1.
+  {
+    // Sort atoms by their pass-1 rendering to get a stable scan order.
+    std::vector<size_t> order(atoms.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    auto atom_key = [&](const Atom& atom) {
+      std::string s = vocab.PredicateName(atom.predicate) + "(";
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        if (i > 0) s += ",";
+        TermId t = atom.args[i];
+        auto it = naming.find(t);
+        if (it != naming.end()) {
+          s += "v" + std::to_string(it->second);
+        } else if (vocab.IsVariable(t)) {
+          s += q.IsMarked(t) ? "M" : "U";
+        } else {
+          s += vocab.TermToString(t);
+        }
+      }
+      return s + ")";
+    };
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return atom_key(atoms[a]) < atom_key(atoms[b]);
+    });
+    for (size_t idx : order) {
+      for (TermId t : atoms[idx].args) {
+        if (vocab.IsVariable(t) && naming.find(t) == naming.end()) {
+          naming[t] = next++;
+        }
+      }
+    }
+  }
+  return render(naming);
+}
+
+}  // namespace frontiers

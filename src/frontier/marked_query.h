@@ -1,0 +1,97 @@
+#ifndef FRONTIERS_FRONTIER_MARKED_QUERY_H_
+#define FRONTIERS_FRONTIER_MARKED_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/fact_set.h"
+#include "base/vocabulary.h"
+#include "tgd/conjunctive_query.h"
+
+namespace frontiers {
+
+/// The two-colour context of Sections 10-11: queries and instances over the
+/// binary predicates R (red) and G (green) of the theory `T_d`.
+struct TdContext {
+  PredicateId red;
+  PredicateId green;
+
+  /// Interns R and G in `vocab`.
+  static TdContext Make(Vocabulary& vocab);
+
+  /// A context over arbitrary level predicates (used by the T_d^K
+  /// machinery, where I_{i+1} plays red and I_i plays green).
+  static TdContext ForPredicates(PredicateId red, PredicateId green) {
+    return TdContext{red, green};
+  }
+};
+
+/// A *marked query* (Definition 47): a CQ over {R, G} together with a set
+/// `V` of marked variables containing all answer variables.  Marked
+/// variables are those intended to be matched to elements of `dom(D)`
+/// rather than chase-invented terms (Definition 48).
+struct MarkedQuery {
+  ConjunctiveQuery query;
+  std::unordered_set<TermId> marked;
+
+  /// Convenience: true if `v` is marked.
+  bool IsMarked(TermId v) const { return marked.count(v) > 0; }
+};
+
+/// All variables of the marked query.
+std::vector<TermId> Variables(const Vocabulary& vocab, const MarkedQuery& q);
+
+/// Observation 50's necessary conditions for satisfiability of a marked
+/// query in some chase of `T_d`:
+///  (i)   the source of an edge with marked target is marked,
+///  (ii)  every variable on a directed (mixed-colour) cycle is marked,
+///  (iii) co-targets of same-coloured edges share marking: if E(z1,u) and
+///        E(z2,u) are atoms and z1 is marked then so is z2.
+bool IsProperlyMarked(const Vocabulary& vocab, const TdContext& ctx,
+                      const MarkedQuery& q);
+
+/// True if every variable is marked; such queries are evaluated directly
+/// on D (the `rew` disjuncts the process produces).
+bool IsTotallyMarked(const Vocabulary& vocab, const MarkedQuery& q);
+
+/// Live = properly marked but not totally marked (still has work to do).
+bool IsLive(const Vocabulary& vocab, const TdContext& ctx,
+            const MarkedQuery& q);
+
+/// A *maximal variable* (Section 11): an unmarked variable with no
+/// outgoing edge.  Lemma 55 guarantees one exists for every live query.
+std::optional<TermId> FindMaximalVariable(const Vocabulary& vocab,
+                                          const TdContext& ctx,
+                                          const MarkedQuery& q);
+
+/// Satisfaction of a marked query (Definition 48): `chase |= Q(answer)`
+/// via a homomorphism sending exactly the marked variables into
+/// `db_domain`.  `chase` is (a prefix of) Ch(T_d, D) and `db_domain` is
+/// dom(D).
+bool HoldsMarked(const Vocabulary& vocab, const MarkedQuery& q,
+                 const FactSet& chase,
+                 const std::unordered_set<TermId>& db_domain,
+                 const std::vector<TermId>& answer);
+
+/// Expands *dangling* answer variables (answer variables no longer
+/// occurring in any atom - cut operations can strand them) into
+/// per-(predicate, position) disjuncts over `predicates`, planting each
+/// dangling variable in a fresh atom.  A CQ cannot say "y is in the
+/// active domain" directly, but the finite disjunction over all positions
+/// can; this mirrors the rewriter's pins-rule expansion.  Queries without
+/// dangling answer variables are returned unchanged (singleton result).
+std::vector<ConjunctiveQuery> ExpandDanglingAnswerVars(
+    Vocabulary& vocab, const std::vector<PredicateId>& predicates,
+    const ConjunctiveQuery& query);
+
+/// A deterministic canonical rendering used to deduplicate marked queries
+/// during the process (identical canonical strings are definitely the same
+/// query up to variable renaming; isomorphic queries may still render
+/// differently, which merely costs a little duplicated work).
+std::string CanonicalKey(const Vocabulary& vocab, const MarkedQuery& q);
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_FRONTIER_MARKED_QUERY_H_

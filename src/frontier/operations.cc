@@ -1,0 +1,182 @@
+#include "frontier/operations.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace frontiers {
+
+std::string OperationName(TdOperation op) {
+  switch (op) {
+    case TdOperation::kCutRed:
+      return "cut-red";
+    case TdOperation::kCutGreen:
+      return "cut-green";
+    case TdOperation::kFuseRed:
+      return "fuse-red";
+    case TdOperation::kFuseGreen:
+      return "fuse-green";
+    case TdOperation::kReduce:
+      return "reduce";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "frontiers: fatal: %s\n", message.c_str());
+  std::abort();
+}
+
+// Removes duplicate atoms (fusing can create them).
+void DedupAtoms(MarkedQuery& q) {
+  std::vector<Atom> unique;
+  for (const Atom& atom : q.query.atoms) {
+    if (std::find(unique.begin(), unique.end(), atom) == unique.end()) {
+      unique.push_back(atom);
+    }
+  }
+  q.query.atoms = std::move(unique);
+}
+
+// Drops marks of variables that no longer occur (cut/reduce remove atoms).
+// Answer variables stay marked even when their last atom disappears: they
+// remain part of the query ("dangling" answer variables are expanded into
+// active-domain disjuncts when the process collects its rewriting).
+void PruneMarks(const Vocabulary& vocab, MarkedQuery& q) {
+  std::unordered_set<TermId> present(q.query.answer_vars.begin(),
+                                     q.query.answer_vars.end());
+  for (const Atom& atom : q.query.atoms) {
+    for (TermId t : atom.args) present.insert(t);
+  }
+  for (auto it = q.marked.begin(); it != q.marked.end();) {
+    if (vocab.IsVariable(*it) && present.count(*it) == 0) {
+      it = q.marked.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace
+
+MarkedQuery ApplyCut(const MarkedQuery& q, TermId x) {
+  MarkedQuery out = q;
+  out.query.atoms.clear();
+  for (const Atom& atom : q.query.atoms) {
+    if (!atom.ContainsTerm(x)) out.query.atoms.push_back(atom);
+  }
+  return out;
+}
+
+MarkedQuery ApplyFuse(const MarkedQuery& q, TermId z, TermId z_prime) {
+  // Keep answer variables as representatives.  Fusing *two* answer
+  // variables would need an equality constraint a CQ cannot express; the
+  // process does not support such queries (the paper's phi_R^n family
+  // never produces this shape).
+  bool z_is_answer = std::find(q.query.answer_vars.begin(),
+                               q.query.answer_vars.end(),
+                               z) != q.query.answer_vars.end();
+  bool zp_is_answer = std::find(q.query.answer_vars.begin(),
+                                q.query.answer_vars.end(),
+                                z_prime) != q.query.answer_vars.end();
+  if (z_is_answer && zp_is_answer) {
+    Die("fuse would identify two answer variables (unsupported query shape)");
+  }
+  if (zp_is_answer) std::swap(z, z_prime);
+  MarkedQuery out = q;
+  for (Atom& atom : out.query.atoms) {
+    for (TermId& t : atom.args) {
+      if (t == z_prime) t = z;
+    }
+  }
+  out.marked.erase(z_prime);
+  DedupAtoms(out);
+  return out;
+}
+
+std::vector<MarkedQuery> ApplyReduce(Vocabulary& vocab, const TdContext& ctx,
+                                     const MarkedQuery& q, TermId x) {
+  TermId x_r = kNoTerm, x_g = kNoTerm;
+  for (const Atom& atom : q.query.atoms) {
+    if (atom.args.size() == 2 && atom.args[1] == x) {
+      if (atom.predicate == ctx.red) x_r = atom.args[0];
+      if (atom.predicate == ctx.green) x_g = atom.args[0];
+    }
+  }
+  if (x_r == kNoTerm || x_g == kNoTerm) {
+    Die("reduce applied to a variable without one red and one green in-atom");
+  }
+  MarkedQuery base = q;
+  base.query.atoms.clear();
+  for (const Atom& atom : q.query.atoms) {
+    if (!atom.ContainsTerm(x)) base.query.atoms.push_back(atom);
+  }
+  TermId u = vocab.FreshVariable("rd");
+  TermId w = vocab.FreshVariable("rd");
+  base.query.atoms.push_back(Atom(ctx.green, {u, w}));
+  base.query.atoms.push_back(Atom(ctx.green, {w, x_r}));
+  base.query.atoms.push_back(Atom(ctx.red, {u, x_g}));
+
+  std::vector<MarkedQuery> out;
+  for (int mask = 0; mask < 4; ++mask) {
+    MarkedQuery variant = base;
+    if (mask & 1) variant.marked.insert(u);
+    if (mask & 2) variant.marked.insert(w);
+    out.push_back(std::move(variant));
+  }
+  return out;
+}
+
+StepResult StepLiveQuery(Vocabulary& vocab, const TdContext& ctx,
+                         const MarkedQuery& q) {
+  std::optional<TermId> max_var = FindMaximalVariable(vocab, ctx, q);
+  if (!max_var.has_value()) {
+    Die("StepLiveQuery called on a query without a maximal variable");
+  }
+  TermId x = *max_var;
+
+  // Classify x per Lemma 55: collect its in-atoms by colour.
+  std::vector<TermId> red_sources, green_sources;
+  for (const Atom& atom : q.query.atoms) {
+    if (atom.args.size() == 2 && atom.args[1] == x) {
+      if (atom.predicate == ctx.red) red_sources.push_back(atom.args[0]);
+      if (atom.predicate == ctx.green) green_sources.push_back(atom.args[0]);
+    }
+  }
+
+  StepResult step;
+  step.variable = x;
+  // Case (iii): two same-coloured in-edges -> fuse.
+  if (red_sources.size() >= 2) {
+    step.operation = TdOperation::kFuseRed;
+    step.results = {ApplyFuse(q, red_sources[0], red_sources[1])};
+    return step;
+  }
+  if (green_sources.size() >= 2) {
+    step.operation = TdOperation::kFuseGreen;
+    step.results = {ApplyFuse(q, green_sources[0], green_sources[1])};
+    return step;
+  }
+  // Case (ii): exactly one red and one green in-edge -> reduce.
+  if (red_sources.size() == 1 && green_sources.size() == 1) {
+    step.operation = TdOperation::kReduce;
+    step.results = ApplyReduce(vocab, ctx, q, x);
+    return step;
+  }
+  // Case (i): exactly one in-edge -> cut.
+  if (red_sources.size() == 1) {
+    step.operation = TdOperation::kCutRed;
+  } else if (green_sources.size() == 1) {
+    step.operation = TdOperation::kCutGreen;
+  } else {
+    Die("maximal variable with no in-atoms: not a variable of the query");
+  }
+  MarkedQuery cut = ApplyCut(q, x);
+  PruneMarks(vocab, cut);
+  step.results = {std::move(cut)};
+  return step;
+}
+
+}  // namespace frontiers

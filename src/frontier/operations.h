@@ -1,0 +1,60 @@
+#ifndef FRONTIERS_FRONTIER_OPERATIONS_H_
+#define FRONTIERS_FRONTIER_OPERATIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "base/vocabulary.h"
+#include "frontier/marked_query.h"
+
+namespace frontiers {
+
+/// The five operations of Section 11 (Definitions 56-58).  Each takes a
+/// live marked query and a maximal variable and returns the replacement
+/// queries; Lemma 52 (soundness) says the disjunction of the results is
+/// chase-equivalent to the input, Lemma 53 says each result has strictly
+/// smaller rank.
+
+/// Which operation `StepLiveQuery` applied.
+enum class TdOperation {
+  kCutRed,
+  kCutGreen,
+  kFuseRed,
+  kFuseGreen,
+  kReduce,
+};
+
+/// Name for reports ("cut-red", ...).
+std::string OperationName(TdOperation op);
+
+/// The result of one process step.
+struct StepResult {
+  TdOperation operation;
+  TermId variable;
+  /// Replacement queries, before proper-marking filtering.
+  std::vector<MarkedQuery> results;
+};
+
+/// Definition 56: removes the sole atom E(z, x) containing the maximal
+/// variable `x` (E determined by the atom's colour).
+MarkedQuery ApplyCut(const MarkedQuery& q, TermId x);
+
+/// Definition 57: given two same-coloured atoms E(z, x), E(z', x), renames
+/// z' to z everywhere.
+MarkedQuery ApplyFuse(const MarkedQuery& q, TermId z, TermId z_prime);
+
+/// Definition 58: x occurs exactly in R(x_r, x) and G(x_g, x); replaces
+/// them by G(u, w), G(w, x_r), R(u, x_g) with fresh u, w, and returns the
+/// four markings of {u, w}.
+std::vector<MarkedQuery> ApplyReduce(Vocabulary& vocab, const TdContext& ctx,
+                                     const MarkedQuery& q, TermId x);
+
+/// Lemma 51/55 dispatch: finds a maximal variable of the live query `q`,
+/// classifies it per Lemma 55 and applies the corresponding operation.
+/// Aborts if `q` is not live (programming error).
+StepResult StepLiveQuery(Vocabulary& vocab, const TdContext& ctx,
+                         const MarkedQuery& q);
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_FRONTIER_OPERATIONS_H_

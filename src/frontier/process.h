@@ -1,0 +1,62 @@
+#ifndef FRONTIERS_FRONTIER_PROCESS_H_
+#define FRONTIERS_FRONTIER_PROCESS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "base/vocabulary.h"
+#include "frontier/marked_query.h"
+#include "frontier/operations.h"
+
+namespace frontiers {
+
+/// Options for the five-operation rewriting process (Sections 10-11).
+struct TdProcessOptions {
+  /// Maximum number of live-query expansions.
+  size_t max_steps = 200000;
+  /// Maximum total marked queries ever enqueued.
+  size_t max_queries = 500000;
+  /// Verify, at every step, that each produced query has strictly smaller
+  /// rank than its parent (Lemma 53 / Definition 54) - the termination
+  /// certificate.  Exact but expensive; meant for tests and the E3 bench.
+  bool check_rank_certificate = false;
+};
+
+/// Result of running the process on a query `phi`.
+struct TdProcessResult {
+  /// The rewriting: bodies of the totally marked queries the process
+  /// settled on, minimized and pruned to a pairwise-incomparable set.
+  /// Evaluating their disjunction on D decides `Ch(T_d, D) |= phi(a)`
+  /// (condition (spade) + no-live-queries condition (club), Section 10).
+  std::vector<ConjunctiveQuery> rewriting;
+  /// True if the worklist drained within budget.
+  bool completed = false;
+  size_t steps = 0;
+  /// Queries dropped because their marking violates Observation 50.
+  size_t discarded_improper = 0;
+  /// Distinct totally marked queries collected (before minimization).
+  size_t totally_marked = 0;
+  /// Duplicate marked queries skipped via canonicalization.
+  size_t deduplicated = 0;
+  /// Rank-certificate outcome (meaningful when check_rank_certificate).
+  bool rank_certificate_ok = true;
+  size_t certificate_checks = 0;
+  /// Operation usage counts, indexed by TdOperation.
+  size_t operation_counts[5] = {0, 0, 0, 0, 0};
+};
+
+/// Runs the Section 10 process for `T_d` on the connected non-Boolean
+/// query `phi`: starts from all markings of `phi` (answer variables always
+/// marked), repeatedly replaces a live query via the five operations, and
+/// collects the totally marked queries as the rewriting.
+///
+/// This is an *independent* decision procedure for T_d-certain answers:
+/// it never runs a chase, so the experiments can cross-validate it against
+/// the (strategy-filtered) chase.
+TdProcessResult RunTdProcess(Vocabulary& vocab, const TdContext& ctx,
+                             const ConjunctiveQuery& phi,
+                             const TdProcessOptions& options = {});
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_FRONTIER_PROCESS_H_

@@ -1,0 +1,202 @@
+#include "frontier/ranks.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+namespace frontiers {
+
+namespace {
+
+// Directed edge of the query with its colour and (for red edges) an index
+// into the red-edge bitmask.
+struct QEdge {
+  TermId source;
+  TermId target;
+  bool red;
+  int red_index;  // -1 for green
+};
+
+struct SearchGraph {
+  std::vector<QEdge> edges;
+  size_t red_count = 0;
+};
+
+SearchGraph BuildGraph(const TdContext& ctx, const MarkedQuery& q) {
+  SearchGraph graph;
+  int next_red = 0;
+  for (const Atom& atom : q.query.atoms) {
+    if (atom.args.size() != 2) continue;
+    if (atom.predicate == ctx.red) {
+      graph.edges.push_back({atom.args[0], atom.args[1], true, next_red++});
+    } else if (atom.predicate == ctx.green) {
+      graph.edges.push_back({atom.args[0], atom.args[1], false, -1});
+    }
+  }
+  graph.red_count = static_cast<size_t>(next_red);
+  return graph;
+}
+
+// Dijkstra state: current vertex, bitmask of consumed red edges, elevation
+// exponent.  Cost is exact.
+struct State {
+  TermId vertex;
+  uint32_t mask;
+  uint32_t exponent;
+  friend bool operator==(const State& a, const State& b) {
+    return a.vertex == b.vertex && a.mask == b.mask &&
+           a.exponent == b.exponent;
+  }
+  friend bool operator<(const State& a, const State& b) {
+    if (a.vertex != b.vertex) return a.vertex < b.vertex;
+    if (a.mask != b.mask) return a.mask < b.mask;
+    return a.exponent < b.exponent;
+  }
+};
+
+}  // namespace
+
+std::optional<BigNat> EdgeRank(const Vocabulary& vocab, const TdContext& ctx,
+                               const MarkedQuery& q, const Atom& alpha) {
+  if (alpha.predicate != ctx.green || alpha.args.size() != 2) {
+    return std::nullopt;
+  }
+  SearchGraph graph = BuildGraph(ctx, q);
+  if (graph.red_count > 20) return std::nullopt;  // bitmask guard
+
+  const uint32_t base_exponent = static_cast<uint32_t>(graph.red_count);
+
+  // Priority queue keyed by exact cost.
+  struct Item {
+    BigNat cost;
+    State state;
+  };
+  auto cmp = [](const Item& a, const Item& b) { return b.cost < a.cost; };
+  std::priority_queue<Item, std::vector<Item>, decltype(cmp)> queue(cmp);
+  std::map<State, BigNat> best;
+
+  for (TermId v : Variables(vocab, q)) {
+    if (!q.IsMarked(v)) continue;
+    State start{v, 0, base_exponent};
+    best[start] = BigNat(0);
+    queue.push({BigNat(0), start});
+  }
+  // Constants behave like marked variables (they live in dom(D)).
+  for (const QEdge& e : graph.edges) {
+    for (TermId t : {e.source, e.target}) {
+      if (!vocab.IsVariable(t)) {
+        State start{t, 0, base_exponent};
+        if (best.find(start) == best.end()) {
+          best[start] = BigNat(0);
+          queue.push({BigNat(0), start});
+        }
+      }
+    }
+  }
+
+  std::optional<BigNat> answer;
+  while (!queue.empty()) {
+    Item item = queue.top();
+    queue.pop();
+    auto found = best.find(item.state);
+    if (found == best.end() || found->second < item.cost) continue;
+    if (answer.has_value() && *answer <= item.cost) continue;
+
+    const State& s = item.state;
+    for (const QEdge& e : graph.edges) {
+      // Forward traversal from s.vertex; backward traversal toward source.
+      for (int dir = 0; dir < 2; ++dir) {
+        TermId from = dir == 0 ? e.source : e.target;
+        TermId to = dir == 0 ? e.target : e.source;
+        if (from != s.vertex) continue;
+        State next = s;
+        next.vertex = to;
+        BigNat cost = item.cost;
+        if (e.red) {
+          if (s.mask & (1u << e.red_index)) continue;  // condition (*)
+          next.mask |= 1u << e.red_index;
+          if (dir == 0) {
+            next.exponent = s.exponent + 1;
+          } else {
+            if (s.exponent == 0) continue;  // elevation must stay positive
+            next.exponent = s.exponent - 1;
+          }
+        } else {
+          cost += BigNat::Pow(3, s.exponent);
+          // A green step over alpha (in either direction) completes a hike.
+          if (e.source == alpha.args[0] && e.target == alpha.args[1]) {
+            if (!answer.has_value() || cost < *answer) answer = cost;
+          }
+        }
+        auto it = best.find(next);
+        if (it == best.end() || cost < it->second) {
+          best[next] = cost;
+          queue.push({cost, next});
+        }
+      }
+    }
+  }
+  return answer;
+}
+
+QueryRank ComputeQueryRank(const Vocabulary& vocab, const TdContext& ctx,
+                           const MarkedQuery& q) {
+  QueryRank rank;
+  for (const Atom& atom : q.query.atoms) {
+    if (atom.predicate == ctx.red) ++rank.red_count;
+  }
+  for (const Atom& atom : q.query.atoms) {
+    if (atom.predicate != ctx.green) continue;
+    std::optional<BigNat> erk = EdgeRank(vocab, ctx, q, atom);
+    if (erk.has_value()) {
+      rank.green_ranks.push_back(std::move(*erk));
+    } else {
+      ++rank.unreachable_greens;
+    }
+  }
+  std::sort(rank.green_ranks.begin(), rank.green_ranks.end(),
+            [](const BigNat& a, const BigNat& b) { return b < a; });
+  return rank;
+}
+
+namespace {
+
+// Dershowitz-Manna multiset comparison over a totally ordered element
+// type, realized as lexicographic comparison of descending-sorted lists
+// (shorter list loses only if it is a prefix... more precisely: compare
+// elementwise; on exhaustion the longer list is larger).
+template <typename T, typename Cmp>
+int CompareSortedDesc(const std::vector<T>& a, const std::vector<T>& b,
+                      Cmp cmp) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = cmp(a[i], b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
+}
+
+int CompareBigNat(const BigNat& a, const BigNat& b) { return a.Compare(b); }
+
+}  // namespace
+
+int CompareQueryRank(const QueryRank& a, const QueryRank& b) {
+  if (a.red_count != b.red_count) return a.red_count < b.red_count ? -1 : 1;
+  if (a.unreachable_greens != b.unreachable_greens) {
+    return a.unreachable_greens < b.unreachable_greens ? -1 : 1;
+  }
+  return CompareSortedDesc(a.green_ranks, b.green_ranks, CompareBigNat);
+}
+
+int CompareSetRank(std::vector<QueryRank> a, std::vector<QueryRank> b) {
+  auto desc = [](const QueryRank& x, const QueryRank& y) {
+    return CompareQueryRank(y, x) < 0;
+  };
+  std::sort(a.begin(), a.end(), desc);
+  std::sort(b.begin(), b.end(), desc);
+  return CompareSortedDesc(a, b, CompareQueryRank);
+}
+
+}  // namespace frontiers

@@ -1,0 +1,61 @@
+#ifndef FRONTIERS_FRONTIER_RANKS_H_
+#define FRONTIERS_FRONTIER_RANKS_H_
+
+#include <optional>
+#include <vector>
+
+#include "base/bignat.h"
+#include "base/vocabulary.h"
+#include "frontier/marked_query.h"
+
+namespace frontiers {
+
+/// The rank machinery of Section 11 (Definitions 59-62 and 54), used as a
+/// machine-checked termination certificate for the five-operation process.
+///
+/// An R-path walks the query's edges in either direction, starting at a
+/// marked variable; every red atom may be traversed at most once (in one
+/// direction only), while green atoms repeat freely.  The walk carries an
+/// *elevation* `3^e` (e starts at |Q_R|, +1 per forward red, -1 per
+/// backward red) and pays the current elevation for every green step.  The
+/// *edge rank* erk(alpha, Q) of a green atom is the minimum cost of a hike
+/// ending with alpha; elevations and costs are exact `BigNat`s since they
+/// reach 3^{|Q_R|} and beyond.
+
+/// erk(alpha, Q): minimum hike cost to the green atom `alpha`, or nullopt
+/// if no marked variable can reach it (can happen for non-properly-marked
+/// intermediate queries; live queries always have hikes for every green
+/// atom reachable from V).
+std::optional<BigNat> EdgeRank(const Vocabulary& vocab, const TdContext& ctx,
+                               const MarkedQuery& q, const Atom& alpha);
+
+/// qrk(Q) (Definition 54): the number of red atoms paired with the
+/// descending-sorted multiset of green edge ranks.  Green atoms with no
+/// hike are recorded as "infinite" entries that dominate every finite
+/// rank (they can only disappear or stay, never be created by an
+/// operation, so the ordering remains well-founded).
+struct QueryRank {
+  size_t red_count = 0;
+  /// Number of green atoms with no hike at all.
+  size_t unreachable_greens = 0;
+  /// Finite ranks, sorted descending.
+  std::vector<BigNat> green_ranks;
+};
+
+/// Computes qrk(Q).
+QueryRank ComputeQueryRank(const Vocabulary& vocab, const TdContext& ctx,
+                           const MarkedQuery& q);
+
+/// Compares two query ranks: negative/zero/positive as a <=> b under the
+/// lexicographic order (red_count, unreachable_greens, multiset of green
+/// ranks) with the Dershowitz-Manna multiset order realized as
+/// descending-lexicographic comparison.
+int CompareQueryRank(const QueryRank& a, const QueryRank& b);
+
+/// Compares two multisets of query ranks (srk, Definition 54) under the
+/// multiset extension of CompareQueryRank.
+int CompareSetRank(std::vector<QueryRank> a, std::vector<QueryRank> b);
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_FRONTIER_RANKS_H_

@@ -1,0 +1,119 @@
+#ifndef FRONTIERS_FRONTIER_TDK_PROCESS_H_
+#define FRONTIERS_FRONTIER_TDK_PROCESS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/bignat.h"
+#include "base/vocabulary.h"
+#include "frontier/marked_query.h"
+
+namespace frontiers {
+
+/// Section 12's generalization of the five-operation process to `T_d^K`:
+/// K cut operations, K fuse operations and K-1 reduce operations (3K-1 in
+/// total), with per-level `I_i`-path ranks ordered lexicographically by
+/// level.  For K = 2 this coincides with the Sections 10-11 machinery
+/// (I_2 = R, I_1 = G); tests check the two implementations produce
+/// equivalent rewritings.
+
+/// The K-level colour context: level predicates I_1..I_K.
+struct TdKContext {
+  /// level_pred[i] is the predicate of I_i; index 0 is unused.
+  std::vector<PredicateId> level_pred;
+
+  uint32_t K() const { return static_cast<uint32_t>(level_pred.size() - 1); }
+
+  /// Interns I_1..I_k in `vocab`.
+  static TdKContext Make(Vocabulary& vocab, uint32_t k);
+
+  /// Level of a predicate, or nullopt if it is not a level predicate.
+  std::optional<uint32_t> LevelOf(PredicateId pred) const;
+};
+
+/// Observation 50 generalized to K levels, plus the Section 12 refinement
+/// ("properly marked queries first need to be slightly redefined"): an
+/// unmarked variable maps to a chase-invented term, whose incoming edges
+/// are either a single pins edge (one level) or a grid pair at *adjacent*
+/// levels {i, i+1} - so its in-atom levels must fit inside an adjacent
+/// pair.  Conditions:
+///  (i)   marked target forces marked source (any level),
+///  (ii)  directed cycles are fully marked,
+///  (iii) same-level co-targets share marking,
+///  (iv)  the set of in-edge levels of an unmarked variable is contained
+///        in {i, i+1} for some i.
+bool IsProperlyMarkedK(const Vocabulary& vocab, const TdKContext& ctx,
+                       const MarkedQuery& q);
+
+/// Live = properly marked (K-level sense) and not totally marked.
+bool IsLiveK(const Vocabulary& vocab, const TdKContext& ctx,
+             const MarkedQuery& q);
+
+/// One step of the generalized process on a live query: finds a maximal
+/// variable and applies cut_k / fuse_k / reduce_i as dictated by its
+/// in-atoms.  Returns the replacement queries.
+struct TdKStep {
+  enum class Kind { kCut, kFuse, kReduce } kind;
+  /// The level acted on (the edge level for cut/fuse; the lower level i of
+  /// the grid_i pair for reduce).
+  uint32_t level;
+  std::vector<MarkedQuery> results;
+};
+TdKStep StepLiveQueryK(Vocabulary& vocab, const TdKContext& ctx,
+                       const MarkedQuery& q);
+
+/// The Section 12 rank of an `I_{i-1}` atom: the minimal cost_i of an
+/// I_i-path from a marked variable to the atom, where the path may use
+/// every edge of every level, traverses each I_i atom at most once
+/// (condition (*) at level i), gains/loses elevation 3^{+-1} on I_i steps
+/// and pays the current elevation on I_{i-1} steps.  Other levels are
+/// free.  nullopt if no such hike exists.
+std::optional<BigNat> EdgeRankK(const Vocabulary& vocab, const TdKContext& ctx,
+                                const MarkedQuery& q, uint32_t i,
+                                const Atom& alpha);
+
+/// qrk(Q) of Section 12: the tuple
+///   < |Q_K|, qrk_K(Q), |Q_{K-1}|, qrk_{K-1}(Q), ..., |Q_2|, qrk_2(Q) >
+/// compared lexicographically, with each qrk_i a multiset of EdgeRankK
+/// values over the I_{i-1} atoms.
+struct TdKQueryRank {
+  /// Entry per level i = K .. 2, in that order.
+  struct LevelRank {
+    size_t atom_count = 0;          // |Q_i|
+    size_t unreachable = 0;         // I_{i-1} atoms with no hike
+    std::vector<BigNat> ranks;      // finite ranks, sorted descending
+  };
+  std::vector<LevelRank> levels;
+};
+TdKQueryRank ComputeQueryRankK(const Vocabulary& vocab, const TdKContext& ctx,
+                               const MarkedQuery& q);
+int CompareQueryRankK(const TdKQueryRank& a, const TdKQueryRank& b);
+
+/// Options/result mirror the 2-level process.
+struct TdKProcessOptions {
+  size_t max_steps = 500000;
+  size_t max_queries = 1000000;
+  bool check_rank_certificate = false;
+};
+struct TdKProcessResult {
+  std::vector<ConjunctiveQuery> rewriting;
+  bool completed = false;
+  size_t steps = 0;
+  size_t discarded_improper = 0;
+  size_t totally_marked = 0;
+  size_t deduplicated = 0;
+  size_t cuts = 0, fuses = 0, reduces = 0;
+  bool rank_certificate_ok = true;
+  size_t certificate_checks = 0;
+};
+
+/// Runs the generalized process on a connected non-Boolean query over the
+/// level predicates.
+TdKProcessResult RunTdKProcess(Vocabulary& vocab, const TdKContext& ctx,
+                               const ConjunctiveQuery& phi,
+                               const TdKProcessOptions& options = {});
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_FRONTIER_TDK_PROCESS_H_

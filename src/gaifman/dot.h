@@ -1,0 +1,34 @@
+#ifndef FRONTIERS_GAIFMAN_DOT_H_
+#define FRONTIERS_GAIFMAN_DOT_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/fact_set.h"
+#include "base/vocabulary.h"
+
+namespace frontiers {
+
+/// Graphviz DOT export of binary-relational structures, used to render
+/// chase fragments like the paper's Figure 1.
+struct DotOptions {
+  /// Colour per binary predicate name (default: a small fixed palette in
+  /// declaration order; "R" maps to red and "G" to green when present to
+  /// match the paper's drawing).
+  std::unordered_map<std::string, std::string> edge_colors;
+  /// Terms to highlight (e.g. the input domain).
+  std::unordered_set<TermId> highlight;
+  /// Graph name.
+  std::string name = "chase";
+};
+
+/// Renders the binary atoms of `facts` as a directed graph; non-binary
+/// atoms are listed in a comment header.  Terms are labelled with their
+/// printed form; highlighted terms are drawn as boxes.
+std::string ToDot(const Vocabulary& vocab, const FactSet& facts,
+                  const DotOptions& options = {});
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_GAIFMAN_DOT_H_

@@ -1,0 +1,68 @@
+#ifndef FRONTIERS_GAIFMAN_GAIFMAN_H_
+#define FRONTIERS_GAIFMAN_GAIFMAN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/fact_set.h"
+#include "base/vocabulary.h"
+
+namespace frontiers {
+
+/// Sentinel distance for "not connected".
+inline constexpr uint32_t kInfiniteDistance = UINT32_MAX;
+
+/// The Gaifman graph of a structure (Section 2): vertices are the elements
+/// of the active domain, and two vertices are adjacent iff they appear
+/// together in some fact.
+///
+/// Used by the locality (Definition 30), bounded-degree locality
+/// (Definition 40) and distancing (Definition 43) experiments, which all
+/// quantify over Gaifman distances or degrees.
+class GaifmanGraph {
+ public:
+  /// Builds the Gaifman graph of `facts`.
+  explicit GaifmanGraph(const FactSet& facts);
+
+  /// Number of vertices (= |dom(F)|).
+  size_t NumVertices() const { return vertices_.size(); }
+
+  /// The vertices, in first-seen domain order.
+  const std::vector<TermId>& Vertices() const { return vertices_; }
+
+  /// Distinct neighbours of `t` (empty for unknown terms).
+  const std::vector<TermId>& Neighbors(TermId t) const;
+
+  /// Gaifman degree of `t`: number of distinct neighbours.
+  uint32_t Degree(TermId t) const {
+    return static_cast<uint32_t>(Neighbors(t).size());
+  }
+
+  /// Maximum degree over all vertices (0 for the empty graph).
+  uint32_t MaxDegree() const;
+
+  /// BFS distance between two vertices; 0 if equal, kInfiniteDistance if
+  /// disconnected or either vertex is unknown.
+  uint32_t Distance(TermId from, TermId to) const;
+
+  /// Distances from `from` to every vertex (missing = unreachable).
+  std::unordered_map<TermId, uint32_t> DistancesFrom(TermId from) const;
+
+  /// Component index of each vertex (indices are dense, starting at 0).
+  std::unordered_map<TermId, uint32_t> ConnectedComponents() const;
+
+  /// Number of connected components.
+  uint32_t NumComponents() const;
+
+  /// True if both vertices exist and lie in the same component.
+  bool SameComponent(TermId a, TermId b) const;
+
+ private:
+  std::vector<TermId> vertices_;
+  std::unordered_map<TermId, std::vector<TermId>> adjacency_;
+};
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_GAIFMAN_GAIFMAN_H_

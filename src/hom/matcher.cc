@@ -1,0 +1,166 @@
+#include "hom/matcher.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace frontiers {
+
+bool UnifyAtomWithFact(const Atom& pattern, const Atom& fact,
+                       const std::unordered_set<TermId>& mappable,
+                       Substitution& sub) {
+  if (pattern.predicate != fact.predicate ||
+      pattern.args.size() != fact.args.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < pattern.args.size(); ++i) {
+    TermId p = pattern.args[i];
+    TermId f = fact.args[i];
+    auto bound = sub.find(p);
+    if (bound != sub.end()) {
+      if (bound->second != f) return false;
+      continue;
+    }
+    if (mappable.count(p) > 0) {
+      sub.emplace(p, f);
+    } else if (p != f) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Recursive backtracking state.
+struct SearchState {
+  const Vocabulary& vocab;
+  const FactSet& target;
+  const std::vector<Atom>& pattern;
+  const std::unordered_set<TermId>& mappable;
+  Substitution sub;
+  std::vector<bool> done;
+  const std::function<bool(const Substitution&)>& callback;
+
+  // Candidate atoms (indices into target.atoms()) for pattern atom `i`
+  // under the current partial substitution, using the most selective bound
+  // position.  Returns nullptr if the atom has no bound position (caller
+  // then scans the per-predicate list).
+  const std::vector<uint32_t>* CandidatesFor(size_t i,
+                                             size_t* best_size) const {
+    const Atom& atom = pattern[i];
+    const std::vector<uint32_t>* best = nullptr;
+    size_t size = SIZE_MAX;
+    for (uint32_t pos = 0; pos < atom.args.size(); ++pos) {
+      TermId t = atom.args[pos];
+      auto bound = sub.find(t);
+      TermId value;
+      if (bound != sub.end()) {
+        value = bound->second;
+      } else if (mappable.count(t) == 0) {
+        value = t;  // rigid
+      } else {
+        continue;  // unbound mappable: no constraint at this position
+      }
+      const std::vector<uint32_t>& list =
+          target.ByPredicatePositionTerm(atom.predicate, pos, value);
+      if (list.size() < size) {
+        size = list.size();
+        best = &list;
+      }
+    }
+    if (best == nullptr) {
+      const std::vector<uint32_t>& list = target.ByPredicate(atom.predicate);
+      size = list.size();
+      best = &list;
+    }
+    *best_size = size;
+    return best;
+  }
+
+  // Returns true to continue enumeration, false to stop early.
+  bool Solve() {
+    // Pick the unsolved atom with the fewest candidates (fail-first).
+    size_t best_atom = SIZE_MAX;
+    const std::vector<uint32_t>* best_candidates = nullptr;
+    size_t best_size = SIZE_MAX;
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      if (done[i]) continue;
+      size_t size = 0;
+      const std::vector<uint32_t>* candidates = CandidatesFor(i, &size);
+      if (size < best_size) {
+        best_size = size;
+        best_candidates = candidates;
+        best_atom = i;
+        if (size == 0) break;
+      }
+    }
+    if (best_atom == SIZE_MAX) {
+      return callback(sub);  // all atoms matched
+    }
+    if (best_size == 0) return true;  // dead end, backtrack
+    done[best_atom] = true;
+    const Atom& atom = pattern[best_atom];
+    for (uint32_t idx : *best_candidates) {
+      const Atom& fact = target.atoms()[idx];
+      // Record which terms this unification binds so we can undo them.
+      std::vector<TermId> bound_here;
+      bool ok = true;
+      if (fact.predicate != atom.predicate ||
+          fact.args.size() != atom.args.size()) {
+        continue;
+      }
+      for (size_t pos = 0; pos < atom.args.size() && ok; ++pos) {
+        TermId p = atom.args[pos];
+        TermId f = fact.args[pos];
+        auto it = sub.find(p);
+        if (it != sub.end()) {
+          ok = (it->second == f);
+        } else if (mappable.count(p) > 0) {
+          sub.emplace(p, f);
+          bound_here.push_back(p);
+        } else {
+          ok = (p == f);
+        }
+      }
+      if (ok) {
+        if (!Solve()) {
+          done[best_atom] = false;
+          for (TermId t : bound_here) sub.erase(t);
+          return false;
+        }
+      }
+      for (TermId t : bound_here) sub.erase(t);
+    }
+    done[best_atom] = false;
+    return true;
+  }
+};
+
+}  // namespace
+
+bool Matcher::ForEach(
+    const std::vector<Atom>& pattern,
+    const std::unordered_set<TermId>& mappable, const Substitution& initial,
+    const std::function<bool(const Substitution&)>& callback) const {
+  // Ensure unbound mappable terms that never occur in the pattern do not
+  // block completion: only pattern terms are assigned; the callback sees
+  // exactly the bindings for pattern terms plus `initial`.
+  SearchState state{vocab_,  target_, pattern,
+                    mappable, initial, std::vector<bool>(pattern.size(), false),
+                    callback};
+  return state.Solve();
+}
+
+std::optional<Substitution> Matcher::Find(
+    const std::vector<Atom>& pattern,
+    const std::unordered_set<TermId>& mappable,
+    const Substitution& initial) const {
+  std::optional<Substitution> found;
+  ForEach(pattern, mappable, initial, [&found](const Substitution& sub) {
+    found = sub;
+    return false;
+  });
+  return found;
+}
+
+}  // namespace frontiers

@@ -1,0 +1,78 @@
+#ifndef FRONTIERS_HOM_MATCHER_H_
+#define FRONTIERS_HOM_MATCHER_H_
+
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "base/fact_set.h"
+#include "base/vocabulary.h"
+#include "tgd/substitution.h"
+
+namespace frontiers {
+
+/// Backtracking pattern matcher: finds assignments of the *mappable* terms
+/// of an atom pattern such that every pattern atom lands inside a target
+/// fact set.
+///
+/// The same engine serves every homomorphism-shaped question in the paper:
+///   * CQ evaluation over instances and chase prefixes (`Hom(rho, F)` of
+///     Definition 5, query satisfaction of Section 2),
+///   * query containment (homomorphisms between queries, Observation 2's
+///     footnote),
+///   * structure-to-structure homomorphisms and cores (Definitions 19/24),
+/// differing only in *which terms are mappable*: query variables, all
+/// non-fixed domain elements, etc.  Terms outside `mappable` are rigid and
+/// must match themselves.
+///
+/// The search picks, at every step, the pattern atom with the fewest
+/// candidate target atoms (using the per-(predicate,position,term) index
+/// for selectivity), which is the classic fail-first heuristic.
+class Matcher {
+ public:
+  /// Creates a matcher over `target`.  Both references must outlive the
+  /// matcher.
+  Matcher(const Vocabulary& vocab, const FactSet& target)
+      : vocab_(vocab), target_(target) {}
+
+  /// Enumerates all total assignments extending `initial`.  The callback
+  /// receives each complete substitution; returning `false` stops the
+  /// enumeration.  Returns true if the enumeration ran to completion.
+  ///
+  /// Every term of `pattern` that is in `mappable` and not already bound by
+  /// `initial` is assigned; all other terms are rigid.
+  bool ForEach(const std::vector<Atom>& pattern,
+               const std::unordered_set<TermId>& mappable,
+               const Substitution& initial,
+               const std::function<bool(const Substitution&)>& callback) const;
+
+  /// First match or nullopt.
+  std::optional<Substitution> Find(
+      const std::vector<Atom>& pattern,
+      const std::unordered_set<TermId>& mappable,
+      const Substitution& initial = {}) const;
+
+  /// True if some match exists.
+  bool Exists(const std::vector<Atom>& pattern,
+              const std::unordered_set<TermId>& mappable,
+              const Substitution& initial = {}) const {
+    return Find(pattern, mappable, initial).has_value();
+  }
+
+ private:
+  const Vocabulary& vocab_;
+  const FactSet& target_;
+};
+
+/// Attempts to extend `sub` so that `pattern` (whose `mappable` terms may be
+/// bound) becomes exactly `fact`.  Returns false and leaves `sub`
+/// unspecified on failure.  Exposed because the chase's semi-naive loop
+/// seeds matches by unifying one body atom with a delta fact.
+bool UnifyAtomWithFact(const Atom& pattern, const Atom& fact,
+                       const std::unordered_set<TermId>& mappable,
+                       Substitution& sub);
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_HOM_MATCHER_H_

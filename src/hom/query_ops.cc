@@ -1,0 +1,136 @@
+#include "hom/query_ops.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "hom/matcher.h"
+
+namespace frontiers {
+
+namespace {
+
+std::unordered_set<TermId> MappableVars(const Vocabulary& vocab,
+                                        const ConjunctiveQuery& query,
+                                        bool include_answer_vars) {
+  std::unordered_set<TermId> mappable;
+  for (TermId v : QueryVariables(vocab, query)) mappable.insert(v);
+  if (!include_answer_vars) {
+    for (TermId v : query.answer_vars) mappable.erase(v);
+  }
+  return mappable;
+}
+
+}  // namespace
+
+bool Holds(const Vocabulary& vocab, const ConjunctiveQuery& query,
+           const FactSet& facts, const std::vector<TermId>& answer) {
+  if (answer.size() != query.answer_vars.size()) return false;
+  Substitution initial;
+  for (size_t i = 0; i < answer.size(); ++i) {
+    auto it = initial.find(query.answer_vars[i]);
+    if (it != initial.end() && it->second != answer[i]) return false;
+    initial.emplace(query.answer_vars[i], answer[i]);
+  }
+  Matcher matcher(vocab, facts);
+  return matcher.Exists(query.atoms, MappableVars(vocab, query, false),
+                        initial);
+}
+
+bool HoldsBoolean(const Vocabulary& vocab, const ConjunctiveQuery& query,
+                  const FactSet& facts) {
+  return Holds(vocab, query, facts, {});
+}
+
+std::vector<std::vector<TermId>> EvaluateQuery(const Vocabulary& vocab,
+                                               const ConjunctiveQuery& query,
+                                               const FactSet& facts) {
+  std::set<std::vector<TermId>> answers;
+  Matcher matcher(vocab, facts);
+  matcher.ForEach(query.atoms, MappableVars(vocab, query, true), {},
+                  [&](const Substitution& sub) {
+                    std::vector<TermId> tuple;
+                    tuple.reserve(query.answer_vars.size());
+                    for (TermId v : query.answer_vars) {
+                      tuple.push_back(Apply(sub, v));
+                    }
+                    answers.insert(std::move(tuple));
+                    return true;
+                  });
+  return {answers.begin(), answers.end()};
+}
+
+std::optional<Substitution> QueryHomomorphism(const Vocabulary& vocab,
+                                              const ConjunctiveQuery& from,
+                                              const ConjunctiveQuery& to) {
+  if (from.answer_vars.size() != to.answer_vars.size()) return std::nullopt;
+  Substitution initial;
+  for (size_t i = 0; i < from.answer_vars.size(); ++i) {
+    TermId f = from.answer_vars[i];
+    TermId t = to.answer_vars[i];
+    auto it = initial.find(f);
+    if (it != initial.end() && it->second != t) return std::nullopt;
+    initial.emplace(f, t);
+  }
+  FactSet target = QueryAsFactSet(to);
+  Matcher matcher(vocab, target);
+  return matcher.Find(from.atoms, MappableVars(vocab, from, false), initial);
+}
+
+bool Contains(const Vocabulary& vocab, const ConjunctiveQuery& phi,
+              const ConjunctiveQuery& psi) {
+  return QueryHomomorphism(vocab, phi, psi).has_value();
+}
+
+bool EquivalentQueries(const Vocabulary& vocab, const ConjunctiveQuery& a,
+                       const ConjunctiveQuery& b) {
+  return Contains(vocab, a, b) && Contains(vocab, b, a);
+}
+
+ConjunctiveQuery MinimizeQuery(const Vocabulary& vocab,
+                               const ConjunctiveQuery& query) {
+  ConjunctiveQuery current = query;
+  // Remove literal duplicates first.
+  {
+    std::vector<Atom> unique;
+    for (const Atom& atom : current.atoms) {
+      if (std::find(unique.begin(), unique.end(), atom) == unique.end()) {
+        unique.push_back(atom);
+      }
+    }
+    current.atoms = std::move(unique);
+  }
+  Substitution identity;
+  for (TermId v : current.answer_vars) identity.emplace(v, v);
+
+  bool changed = true;
+  while (changed && current.atoms.size() > 1) {
+    changed = false;
+    for (size_t drop = 0; drop < current.atoms.size(); ++drop) {
+      // Target: the query without atom `drop`, viewed as a structure.
+      FactSet target;
+      for (size_t i = 0; i < current.atoms.size(); ++i) {
+        if (i != drop) target.Insert(current.atoms[i]);
+      }
+      Matcher matcher(vocab, target);
+      std::optional<Substitution> fold = matcher.Find(
+          current.atoms, MappableVars(vocab, current, false), identity);
+      if (!fold.has_value()) continue;
+      // Replace the query by its homomorphic image (a subset of the target,
+      // hence strictly smaller than `current`).
+      std::vector<Atom> image;
+      for (const Atom& atom : current.atoms) {
+        Atom mapped = Apply(*fold, atom);
+        if (std::find(image.begin(), image.end(), mapped) == image.end()) {
+          image.push_back(std::move(mapped));
+        }
+      }
+      current.atoms = std::move(image);
+      changed = true;
+      break;
+    }
+  }
+  return current;
+}
+
+}  // namespace frontiers

@@ -1,0 +1,63 @@
+#ifndef FRONTIERS_HOM_STRUCTURE_OPS_H_
+#define FRONTIERS_HOM_STRUCTURE_OPS_H_
+
+#include <functional>
+#include <optional>
+#include <unordered_set>
+
+#include "base/fact_set.h"
+#include "base/vocabulary.h"
+#include "tgd/substitution.h"
+#include "tgd/tgd.h"
+
+namespace frontiers {
+
+/// Structure-level homomorphism operations (Observation 2, Definitions
+/// 19/20/24) and direct model checking of TGDs.
+
+/// A homomorphism from `source` to `target` that is the identity on every
+/// term in `fixed` (terms of `source` outside `fixed` may map anywhere).
+/// Returns nullopt if none exists.
+std::optional<Substitution> StructureHomomorphism(
+    const Vocabulary& vocab, const FactSet& source, const FactSet& target,
+    const std::unordered_set<TermId>& fixed);
+
+/// The homomorphic image `{h(alpha) : alpha in facts}` (Observation 2).
+FactSet HomomorphicImage(const Substitution& sub, const FactSet& facts);
+
+/// A (relative) core of `facts`: a retract obtained by repeatedly folding
+/// away single domain elements outside `fixed` while fixing `fixed`
+/// pointwise.  The result is an induced substructure of `facts` that admits
+/// no further folding; when `facts` is a model of a theory, so is the
+/// retract (Observation 2), which is how Definition 24's `Core(T, D)` is
+/// computed: retract `Ch_n(T,D)` fixing `dom(D)`.
+FactSet CoreRetract(const Vocabulary& vocab, const FactSet& facts,
+                    const std::unordered_set<TermId>& fixed);
+
+/// Enumerates all matches of the rule body into `facts` (`Hom(rho, F)` of
+/// Definition 5).  Domain variables (pins-style rules) range over the
+/// active domain of `facts`.  The callback may return false to stop early;
+/// the function returns true if enumeration ran to completion.
+bool ForEachBodyMatch(const Vocabulary& vocab, const Tgd& rule,
+                      const FactSet& facts,
+                      const std::function<bool(const Substitution&)>& callback);
+
+/// A concrete witness that `facts` is not a model of `theory`.
+struct RuleViolation {
+  size_t rule_index;
+  Substitution body_match;
+};
+
+/// Searches for a rule of `theory` whose body matches `facts` but whose
+/// head has no witness in `facts`.  Returns nullopt iff `facts |= theory`.
+std::optional<RuleViolation> FindViolation(const Vocabulary& vocab,
+                                           const FactSet& facts,
+                                           const Theory& theory);
+
+/// True if every rule of `theory` is satisfied in `facts` (`D |= T`).
+bool IsModelOf(const Vocabulary& vocab, const FactSet& facts,
+               const Theory& theory);
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_HOM_STRUCTURE_OPS_H_

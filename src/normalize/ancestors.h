@@ -1,0 +1,57 @@
+#ifndef FRONTIERS_NORMALIZE_ANCESTORS_H_
+#define FRONTIERS_NORMALIZE_ANCESTORS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/vocabulary.h"
+#include "chase/chase.h"
+
+namespace frontiers {
+
+/// Parent/ancestor functions over chase provenance (Section 13).
+///
+/// A *parent function* assigns each derived atom one of its derivations;
+/// the induced *ancestor function* maps an atom to the set of input facts
+/// reachable through parents.  The choice among derivations is free - the
+/// point of Example 66 is that an adversarial choice blows ancestor sets
+/// up under T, while after normalization the *connected* ancestor sets
+/// (ignoring nullary parents) stay bounded (crucial Lemma 77).
+
+/// Picks which derivation of an atom acts as its parent set.  Input: the
+/// atom's index and its recorded derivations (non-empty).  Must return an
+/// index into that vector.
+using DerivationChooser =
+    std::function<size_t(uint32_t atom_index,
+                         const std::vector<Derivation>& derivations)>;
+
+/// Always the first recorded derivation (the chase's own order).
+DerivationChooser FirstDerivation();
+
+/// Rotates through the recorded derivations by atom index - a simple
+/// adversary that spreads parent choices, reproducing Example 66's
+/// unbounded ancestor sets.
+DerivationChooser RotatingDerivation();
+
+/// The ancestor set of `atom_index`: indices of *input* atoms (depth 0)
+/// reachable through the chosen parents.  Requires the chase to have run
+/// with `record_all_derivations` (or `track_provenance` for
+/// FirstDerivation).  If `connected_only` is set, parents that are nullary
+/// atoms are skipped - the `cpar`/`canc` of Section 13.
+std::vector<uint32_t> AncestorInputs(const Vocabulary& vocab,
+                                     const ChaseResult& chase,
+                                     uint32_t atom_index,
+                                     const DerivationChooser& chooser,
+                                     bool connected_only = false);
+
+/// Maximum ancestor-set size over all atoms of the chase - the quantity
+/// bounded by Lemma 77 (for connected ancestors under T_NF) and unbounded
+/// in Example 66 (under T with a rotating chooser).
+size_t MaxAncestorSetSize(const Vocabulary& vocab, const ChaseResult& chase,
+                          const DerivationChooser& chooser,
+                          bool connected_only = false);
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_NORMALIZE_ANCESTORS_H_

@@ -1,0 +1,231 @@
+#include "normalize/normalize.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "tgd/classify.h"
+
+namespace frontiers {
+
+namespace {
+
+// Canonical name suffix for a Boolean CQ: atoms rendered with variables
+// numbered by first occurrence under a sorted atom order.
+std::string CanonicalBooleanKey(const Vocabulary& vocab,
+                                const std::vector<Atom>& atoms) {
+  // First render with variable placeholders to fix the atom order.
+  std::vector<size_t> order(atoms.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto rough = [&](const Atom& atom) {
+    std::string s = vocab.PredicateName(atom.predicate) + "(";
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (i > 0) s += ",";
+      s += vocab.IsVariable(atom.args[i]) ? "?" : vocab.TermToString(
+                                                      atom.args[i]);
+    }
+    return s + ")";
+  };
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return rough(atoms[a]) < rough(atoms[b]);
+  });
+  std::unordered_map<TermId, int> naming;
+  int next = 0;
+  std::string key;
+  for (size_t idx : order) {
+    const Atom& atom = atoms[idx];
+    key += vocab.PredicateName(atom.predicate) + "(";
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (i > 0) key += ",";
+      TermId t = atom.args[i];
+      if (vocab.IsVariable(t)) {
+        auto it = naming.find(t);
+        if (it == naming.end()) it = naming.emplace(t, next++).first;
+        key += "v" + std::to_string(it->second);
+      } else {
+        key += vocab.TermToString(t);
+      }
+    }
+    key += ")";
+  }
+  return key;
+}
+
+// Splits body atoms into the connected component containing the frontier
+// variables and the rest.  Fails if frontier variables span several
+// components.
+Status SplitBody(const Vocabulary& /*vocab*/, const Tgd& rule,
+                 std::vector<Atom>* connected, std::vector<Atom>* rest) {
+  // Union-find over terms.
+  std::unordered_map<TermId, TermId> parent;
+  std::function<TermId(TermId)> find = [&](TermId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Atom& atom : rule.body) {
+    for (TermId t : atom.args) {
+      if (parent.find(t) == parent.end()) parent[t] = t;
+    }
+    for (size_t i = 1; i < atom.args.size(); ++i) {
+      TermId a = find(atom.args[0]), b = find(atom.args[i]);
+      if (a != b) parent[a] = b;
+    }
+  }
+  TermId frontier_root = kNoTerm;
+  for (TermId v : rule.frontier) {
+    TermId root = find(v);
+    if (frontier_root == kNoTerm) {
+      frontier_root = root;
+    } else if (root != frontier_root) {
+      return Status::Error("frontier variables of rule '" + rule.name +
+                           "' span several body components");
+    }
+  }
+  for (const Atom& atom : rule.body) {
+    bool in_frontier_component =
+        frontier_root != kNoTerm && !atom.args.empty() &&
+        find(atom.args[0]) == frontier_root;
+    // Zero-ary atoms in a body (none expected pre-normalization) go to
+    // the rest.
+    if (in_frontier_component) {
+      connected->push_back(atom);
+    } else {
+      rest->push_back(atom);
+    }
+  }
+  if (frontier_root == kNoTerm && !rule.body.empty()) {
+    // Empty frontier (detached rule): treat the whole body as "rest" and
+    // the connected part as empty.
+    connected->clear();
+    *rest = rule.body;
+  }
+  return Status::Ok();
+}
+
+std::string RuleKey(const Vocabulary& vocab, const Tgd& rule) {
+  std::string key = CanonicalBooleanKey(vocab, rule.body) + "=>";
+  key += CanonicalBooleanKey(vocab, rule.head);
+  return key;
+}
+
+}  // namespace
+
+Result<NormalizationResult> NormalizeTheory(
+    Vocabulary& vocab, const Theory& theory,
+    const RewritingOptions& rewriting_options) {
+  NormalizationResult out;
+  out.original_datalog = DatalogPart(theory);
+  out.original_datalog.name = theory.name + "_DL";
+  out.t_i.name = theory.name + "_I";
+  out.t_ii.name = theory.name + "_II";
+  out.t_iii.name = theory.name + "_III";
+
+  Rewriter rewriter(vocab, theory);
+
+  // ---- STEP ONE: T_I = union of Rew(rho) over existential rules. ----
+  for (const Tgd& rule : theory.rules) {
+    if (IsDatalogRule(rule)) continue;
+    if (rule.head.size() > 1) {
+      return Status::Error("normalization requires single-head rules");
+    }
+    if (rule.body.empty()) {
+      // Nothing to rewrite; pins/loop-style rules pass through.
+      out.t_i.rules.push_back(rule);
+      continue;
+    }
+    ConjunctiveQuery body_query;
+    body_query.atoms = rule.body;
+    body_query.answer_vars = rule.frontier;
+    RewritingResult rew = rewriter.Rewrite(body_query, rewriting_options);
+    if (rew.status != RewritingStatus::kConverged) {
+      return Status::Error("body rewriting of rule '" + rule.name +
+                           "' did not converge (theory not BDD enough "
+                           "for this budget)");
+    }
+    int index = 0;
+    for (const ConjunctiveQuery& disjunct : rew.queries) {
+      out.t_i.rules.push_back(MakeTgd(
+          vocab, disjunct.atoms, rule.head, rule.existential_vars,
+          rule.name + "_rw" + std::to_string(index++)));
+    }
+  }
+
+  // ---- STEP TWO: T_II = separated rules. ----
+  // Rest-bodies keyed canonically so equal bodies share one predicate.
+  std::map<std::string, PredicateId> nullary_by_key;
+  std::map<PredicateId, std::vector<Atom>> nullary_bodies;
+  PredicateId m_empty = vocab.AddPredicate("M_empty", 0);
+  bool used_m_empty = false;
+  std::set<std::string> seen_rules;
+  for (const Tgd& rule : out.t_i.rules) {
+    std::vector<Atom> connected, rest;
+    Status split = SplitBody(vocab, rule, &connected, &rest);
+    if (!split.ok()) return split;
+    PredicateId nullary;
+    if (rest.empty()) {
+      nullary = m_empty;
+      used_m_empty = true;
+    } else {
+      std::string key = CanonicalBooleanKey(vocab, rest);
+      auto it = nullary_by_key.find(key);
+      if (it == nullary_by_key.end()) {
+        nullary = vocab.AddPredicate(
+            "M_" + std::to_string(nullary_by_key.size()), 0);
+        nullary_by_key.emplace(std::move(key), nullary);
+        nullary_bodies.emplace(nullary, rest);
+      } else {
+        nullary = it->second;
+      }
+    }
+    std::vector<Atom> new_body = connected;
+    new_body.push_back(Atom(nullary, {}));
+    Tgd separated = MakeTgd(vocab, new_body, rule.head,
+                            rule.existential_vars, rule.name + "_sep");
+    if (seen_rules.insert(RuleKey(vocab, separated)).second) {
+      out.t_ii.rules.push_back(std::move(separated));
+    }
+    ConjunctiveQuery meaning;
+    meaning.atoms = rest;
+    out.nullary_meaning.emplace(nullary, std::move(meaning));
+  }
+
+  // ---- STEP THREE: T_III = Rew(sep_M(rho)). ----
+  std::set<std::string> seen_nullary_rules;
+  if (used_m_empty) {
+    Tgd trivial = MakeTgd(vocab, {}, {Atom(m_empty, {})}, {}, "m_empty");
+    out.t_iii.rules.push_back(std::move(trivial));
+  }
+  for (const auto& [nullary, rest] : nullary_bodies) {
+    ConjunctiveQuery body_query;
+    body_query.atoms = rest;  // Boolean: all variables existential
+    RewritingResult rew = rewriter.Rewrite(body_query, rewriting_options);
+    if (rew.status != RewritingStatus::kConverged) {
+      return Status::Error(
+          "nullary body rewriting did not converge within budget");
+    }
+    int index = 0;
+    for (const ConjunctiveQuery& disjunct : rew.queries) {
+      Tgd produced =
+          MakeTgd(vocab, disjunct.atoms, {Atom(nullary, {})}, {},
+                  vocab.PredicateName(nullary) + "_rw" +
+                      std::to_string(index++));
+      if (seen_nullary_rules.insert(RuleKey(vocab, produced)).second) {
+        out.t_iii.rules.push_back(std::move(produced));
+      }
+    }
+  }
+
+  out.normalized.name = theory.name + "_NF";
+  out.normalized.rules = out.t_ii.rules;
+  for (const Tgd& rule : out.t_iii.rules) {
+    out.normalized.rules.push_back(rule);
+  }
+  return out;
+}
+
+}  // namespace frontiers

@@ -1,0 +1,54 @@
+#ifndef FRONTIERS_NORMALIZE_NORMALIZE_H_
+#define FRONTIERS_NORMALIZE_NORMALIZE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/vocabulary.h"
+#include "rewriting/rewriter.h"
+#include "tgd/conjunctive_query.h"
+#include "tgd/tgd.h"
+
+namespace frontiers {
+
+/// The Appendix A normalization `T -> T_NF` (Definitions 67-68 and the
+/// three-step NORMALIZATION ALGORITHM).
+///
+/// Purpose (Section 13): the naive "crucial lemma" (Lemma 65) fails
+/// because an existential rule may consume facts *disconnected* from its
+/// frontier (Example 66), letting one chase tree claim unboundedly many
+/// ancestors.  Normalization (1) replaces every existential rule's body by
+/// its full rewriting set under T, then (2) separates the connected part
+/// of each body from the rest, encapsulating the rest behind a fresh
+/// *nullary* predicate `M_phi`, and (3) rewrites the bodies of the rules
+/// proving those nullary predicates.  The result satisfies
+/// `Ch_exists(T, D) = Ch_exists(T_NF, D)` (Lemma 70), and connected
+/// ancestor sets in T_NF chases are bounded (Lemma 77).
+struct NormalizationResult {
+  /// `T_NF = T_II  union  T_III`.
+  Theory normalized;
+  /// Intermediate stages, for inspection and the experiment reports.
+  Theory t_i;    // bodies of existential rules rewritten
+  Theory t_ii;   // bodies separated; the only existential rules of T_NF
+  Theory t_iii;  // nullary-producing Datalog rules (bodies rewritten)
+  /// The Datalog part of the *original* theory; Corollary 76 recovers
+  /// `Ch(T, D)` as `Ch(T_DL, Ch_exists(T_NF, D) u D)`.
+  Theory original_datalog;
+  /// For each nullary predicate introduced, the Boolean CQ it encodes.
+  std::unordered_map<PredicateId, ConjunctiveQuery> nullary_meaning;
+};
+
+/// Runs the normalization algorithm.  Requires the theory to be BDD enough
+/// in practice: every body rewriting must converge within
+/// `rewriting_options`; a budget blow-up or an unsupported rule shape
+/// (multi-head, or frontier variables spread over several body components)
+/// yields an error status.
+Result<NormalizationResult> NormalizeTheory(
+    Vocabulary& vocab, const Theory& theory,
+    const RewritingOptions& rewriting_options = {});
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_NORMALIZE_NORMALIZE_H_

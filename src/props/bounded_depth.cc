@@ -1,0 +1,56 @@
+#include "props/bounded_depth.h"
+
+#include <algorithm>
+
+#include "hom/query_ops.h"
+
+namespace frontiers {
+
+std::optional<uint32_t> SatisfactionDepth(const Vocabulary& vocab,
+                                          const ChaseEngine& engine,
+                                          const FactSet& db,
+                                          const ConjunctiveQuery& query,
+                                          const std::vector<TermId>& answer,
+                                          const ChaseOptions& options) {
+  ChaseResult result = engine.Run(db, options);
+  if (!Holds(vocab, query, result.facts, answer)) return std::nullopt;
+  // Binary search would work, but chase stages are cheap to slice and the
+  // satisfaction depth is typically tiny; scan upward.
+  for (uint32_t i = 0; i <= result.complete_rounds; ++i) {
+    if (Holds(vocab, query, result.PrefixAtDepth(i), answer)) return i;
+  }
+  // Satisfied only using atoms of the partial last round.
+  return result.complete_rounds + 1;
+}
+
+bool EnoughAtDepth(const Vocabulary& vocab, const ChaseEngine& engine,
+                   const FactSet& db, const ConjunctiveQuery& query,
+                   const std::vector<TermId>& answer, uint32_t n,
+                   const ChaseOptions& options) {
+  ChaseResult result = engine.Run(db, options);
+  bool at_reference = Holds(vocab, query, result.facts, answer);
+  bool at_n =
+      Holds(vocab, query, result.PrefixAtDepth(std::min(n, result.complete_rounds)),
+            answer);
+  return at_n == at_reference;
+}
+
+std::optional<uint32_t> MaxSatisfactionDepth(
+    const Vocabulary& vocab, const ChaseEngine& engine,
+    const std::vector<FactSet>& family, const ConjunctiveQuery& query,
+    const std::vector<std::vector<TermId>>& answers,
+    const ChaseOptions& options) {
+  std::optional<uint32_t> max;
+  for (size_t i = 0; i < family.size(); ++i) {
+    const std::vector<TermId>& answer =
+        i < answers.size() ? answers[i] : std::vector<TermId>{};
+    std::optional<uint32_t> depth = SatisfactionDepth(
+        vocab, engine, family[i], query, answer, options);
+    if (depth.has_value() && (!max.has_value() || *depth > *max)) {
+      max = depth;
+    }
+  }
+  return max;
+}
+
+}  // namespace frontiers

@@ -1,0 +1,52 @@
+#ifndef FRONTIERS_PROPS_BOUNDED_DEPTH_H_
+#define FRONTIERS_PROPS_BOUNDED_DEPTH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/fact_set.h"
+#include "base/vocabulary.h"
+#include "chase/chase.h"
+#include "tgd/conjunctive_query.h"
+#include "tgd/tgd.h"
+
+namespace frontiers {
+
+/// Empirical probes for the Bounded Derivation Depth property (Section 4).
+
+/// The *derivation depth* of `query(answer)` on `db`: the least `i` such
+/// that `Ch_i(T, db) |= query(answer)`, or nullopt if the query does not
+/// hold within the chase budget.  `Enough(n, query, db, T)` holds for
+/// every `n >=` this value (and for no smaller `n` when the query holds).
+std::optional<uint32_t> SatisfactionDepth(const Vocabulary& vocab,
+                                          const ChaseEngine& engine,
+                                          const FactSet& db,
+                                          const ConjunctiveQuery& query,
+                                          const std::vector<TermId>& answer,
+                                          const ChaseOptions& options);
+
+/// The paper's `Enough(n, phi, D, T)` for one answer tuple, checked against
+/// a deeper chase prefix as the stand-in for the full (possibly infinite)
+/// chase: true iff `Ch_n |= phi(a)  <=>  Ch_reference |= phi(a)` where the
+/// reference prefix is computed under `options`.  When the chase terminates
+/// within budget the reference *is* Ch(T,D) and the check is exact.
+bool EnoughAtDepth(const Vocabulary& vocab, const ChaseEngine& engine,
+                   const FactSet& db, const ConjunctiveQuery& query,
+                   const std::vector<TermId>& answer, uint32_t n,
+                   const ChaseOptions& options);
+
+/// Sweeps `SatisfactionDepth` over a family of instances and returns the
+/// maximum observed depth (nullopt if the query held on no instance).  A
+/// BDD theory must keep this bounded as instances grow (Definition 11 with
+/// `n_phi` independent of D); unbounded growth across a family is the
+/// empirical signature of a non-BDD pair.
+std::optional<uint32_t> MaxSatisfactionDepth(
+    const Vocabulary& vocab, const ChaseEngine& engine,
+    const std::vector<FactSet>& family, const ConjunctiveQuery& query,
+    const std::vector<std::vector<TermId>>& answers,
+    const ChaseOptions& options);
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_PROPS_BOUNDED_DEPTH_H_

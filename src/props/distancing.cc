@@ -1,0 +1,19 @@
+#include "props/distancing.h"
+
+#include "gaifman/gaifman.h"
+
+namespace frontiers {
+
+DistancingReport MeasureDistancing(const Vocabulary& vocab,
+                                   const ChaseEngine& engine,
+                                   const FactSet& db, TermId c, TermId c_prime,
+                                   const ChaseOptions& options) {
+  (void)vocab;
+  DistancingReport report;
+  report.distance_in_db = GaifmanGraph(db).Distance(c, c_prime);
+  ChaseResult chase = engine.Run(db, options);
+  report.distance_in_chase = GaifmanGraph(chase.facts).Distance(c, c_prime);
+  return report;
+}
+
+}  // namespace frontiers

@@ -1,0 +1,46 @@
+#ifndef FRONTIERS_PROPS_DISTANCING_H_
+#define FRONTIERS_PROPS_DISTANCING_H_
+
+#include <cstdint>
+
+#include "base/fact_set.h"
+#include "base/vocabulary.h"
+#include "chase/chase.h"
+
+namespace frontiers {
+
+/// Empirical probe for the *distancing* property (Definition 43): a theory
+/// is distancing if Gaifman distances can only shrink by a constant factor
+/// when passing from D to Ch(T, D):
+///     dist_{Ch(T,D)}(c, c') <= n   implies   dist_D(c, c') <= d_T * n.
+/// Non-distancing theories (T_d, Theorem 5) pull far-apart constants
+/// arbitrarily close: dist_D / dist_Ch is unbounded over instances.
+struct DistancingReport {
+  uint32_t distance_in_db = 0;
+  uint32_t distance_in_chase = 0;
+
+  /// The contraction ratio dist_D / dist_Ch (0 when either is 0 or
+  /// unreachable); bounded for distancing theories, unbounded for T_d.
+  double ContractionRatio() const {
+    if (distance_in_chase == 0 || distance_in_db == UINT32_MAX ||
+        distance_in_chase == UINT32_MAX) {
+      return 0.0;
+    }
+    return static_cast<double>(distance_in_db) /
+           static_cast<double>(distance_in_chase);
+  }
+};
+
+/// Measures the Gaifman distance between `c` and `c_prime` in `db` and in
+/// the chase computed under `options` (which may carry a strategy filter -
+/// the filtered chase is a subset of the real one, so the reported chase
+/// distance is an upper bound on the true distance, making contraction
+/// ratios conservative).
+DistancingReport MeasureDistancing(const Vocabulary& vocab,
+                                   const ChaseEngine& engine,
+                                   const FactSet& db, TermId c, TermId c_prime,
+                                   const ChaseOptions& options);
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_PROPS_DISTANCING_H_

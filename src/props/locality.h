@@ -1,0 +1,54 @@
+#ifndef FRONTIERS_PROPS_LOCALITY_H_
+#define FRONTIERS_PROPS_LOCALITY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/fact_set.h"
+#include "base/vocabulary.h"
+#include "chase/chase.h"
+
+namespace frontiers {
+
+/// Empirical tester for *locality* (Definition 30):
+///
+///   union over F subset of D, |F| <= l  of  Ch(T, F)   =   Ch(T, D).
+///
+/// The inclusion from left to right always holds (monotonicity of the
+/// chase, made literal by the Skolem naming convention - Observation 8);
+/// the tester measures the converse at a finite chase depth: every atom of
+/// `Ch_depth(T, D)` should appear in `Ch(T, F)` for some small `F`.
+/// Sub-instance chases are run with a deeper budget (`subset_options`)
+/// because an atom derivable from few facts may need more rounds when the
+/// rest of D is absent.
+struct LocalityReport {
+  /// Atoms of Ch_depth(D) not covered by any small-subset chase.
+  std::vector<Atom> uncovered;
+  /// Total atoms checked.
+  size_t total_atoms = 0;
+
+  bool LocalAt() const { return uncovered.empty(); }
+};
+
+/// Tests whether the atoms of `Ch_depth(T, db)` (depth set by
+/// `full_options`) are covered by `union of Ch(T, F)` over nonempty subsets
+/// `F` of `db` with `|F| <= l` (each run under `subset_options`).
+LocalityReport TestLocality(const Vocabulary& vocab, const ChaseEngine& engine,
+                            const FactSet& db, uint32_t l,
+                            const ChaseOptions& full_options,
+                            const ChaseOptions& subset_options);
+
+/// The least `l <= db.size()` at which TestLocality reports no defect, or
+/// nullopt if even `l = db.size()` fails (cannot happen when the subset
+/// budget is at least the full budget, since F = D is then a subset).
+/// A theory is local iff this value stays bounded as instances grow; the
+/// experiments plot it against instance size (Example 39 grows linearly,
+/// linear theories stay at 1, ...).
+std::optional<uint32_t> MinimalLocalityConstant(
+    const Vocabulary& vocab, const ChaseEngine& engine, const FactSet& db,
+    const ChaseOptions& full_options, const ChaseOptions& subset_options);
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_PROPS_LOCALITY_H_

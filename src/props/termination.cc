@@ -1,0 +1,50 @@
+#include "props/termination.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "hom/structure_ops.h"
+
+namespace frontiers {
+
+CoreTerminationReport TestCoreTermination(const Vocabulary& vocab,
+                                          const ChaseEngine& engine,
+                                          const FactSet& db,
+                                          const ChaseOptions& options) {
+  CoreTerminationReport report;
+  ChaseResult chase = engine.Run(db, options);
+  report.chase_terminated = chase.Terminated();
+  report.chase_rounds = chase.complete_rounds;
+
+  std::unordered_set<TermId> fixed(db.Domain().begin(), db.Domain().end());
+  for (uint32_t n = 0; n <= chase.complete_rounds; ++n) {
+    FactSet stage = chase.PrefixAtDepth(n);
+    FactSet retract = CoreRetract(vocab, stage, fixed);
+    if (IsModelOf(vocab, retract, engine.theory())) {
+      report.core_terminates = true;
+      report.n = n;
+      report.core = std::move(retract);
+      return report;
+    }
+    // If the chase terminated, only stages up to the fixpoint matter and
+    // the final stage decides everything; keep scanning - the loop bound
+    // already stops at complete_rounds.
+  }
+  return report;
+}
+
+std::optional<uint32_t> MaxCoreDepth(const Vocabulary& vocab,
+                                     const ChaseEngine& engine,
+                                     const std::vector<FactSet>& family,
+                                     const ChaseOptions& options) {
+  uint32_t max = 0;
+  for (const FactSet& db : family) {
+    CoreTerminationReport report =
+        TestCoreTermination(vocab, engine, db, options);
+    if (!report.core_terminates) return std::nullopt;
+    if (report.n > max) max = report.n;
+  }
+  return max;
+}
+
+}  // namespace frontiers

@@ -1,0 +1,57 @@
+#ifndef FRONTIERS_PROPS_TERMINATION_H_
+#define FRONTIERS_PROPS_TERMINATION_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "base/fact_set.h"
+#include "base/vocabulary.h"
+#include "chase/chase.h"
+#include "tgd/tgd.h"
+
+namespace frontiers {
+
+/// Empirical probes for the Core Termination property (Section 5).
+
+/// Result of searching for the Definition 20 witness on one instance: a
+/// fact set `M` with `D subset M subset Ch_n(T,D)` and `M |= T`.
+struct CoreTerminationReport {
+  /// True if a witness was found within the budget.
+  bool core_terminates = false;
+  /// The minimal `n` at which a witness was found (the paper's `c_{T,D}`,
+  /// Definition 24) - exact for the witnesses this search can see.
+  uint32_t n = 0;
+  /// The witness model (a retract of Ch_n fixing dom(D)); this is the
+  /// paper's `Core(T, D)` candidate.
+  FactSet core;
+  /// True if the chase itself reached a fixpoint within budget
+  /// (All-Instances Termination on this instance, Definition 21).
+  bool chase_terminated = false;
+  uint32_t chase_rounds = 0;
+};
+
+/// Searches, for n = 0, 1, ..., for a model of `theory` between `db` and
+/// `Ch_n(theory, db)`.  The candidate model at each n is the core retract
+/// of the stage fixing `dom(db)` (Definition 24's `Core`); if the retract
+/// models the theory we are done.  This finds the witness whenever one is
+/// a retract of a stage - which covers Definition 19's homomorphism
+/// characterization, since the image of `h: Ch -> Ch_n` restricted to the
+/// stage is such a retract.
+CoreTerminationReport TestCoreTermination(const Vocabulary& vocab,
+                                          const ChaseEngine& engine,
+                                          const FactSet& db,
+                                          const ChaseOptions& options);
+
+/// Sweeps `TestCoreTermination` over a family and returns the maximum
+/// `c_{T,D}` observed, or nullopt if some family member failed to witness
+/// core termination within budget.  Theorem 4 predicts this maximum is
+/// bounded (by `c_T`) for local core-terminating theories; Exercise 12's
+/// `T_p` fails immediately.
+std::optional<uint32_t> MaxCoreDepth(const Vocabulary& vocab,
+                                     const ChaseEngine& engine,
+                                     const std::vector<FactSet>& family,
+                                     const ChaseOptions& options);
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_PROPS_TERMINATION_H_

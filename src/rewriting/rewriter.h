@@ -1,0 +1,95 @@
+#ifndef FRONTIERS_REWRITING_REWRITER_H_
+#define FRONTIERS_REWRITING_REWRITER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/vocabulary.h"
+#include "tgd/conjunctive_query.h"
+#include "tgd/tgd.h"
+
+namespace frontiers {
+
+/// Outcome of a rewriting run.
+enum class RewritingStatus {
+  /// The saturation drained: the returned set is the complete, minimal
+  /// rewriting `rew(psi)` of Theorem 1, certifying the pair (theory, query)
+  /// behaves as BDD on this query.
+  kConverged,
+  /// A budget was hit first.  BDD is undecidable (Section 1), so this is
+  /// the honest "don't know / probably not BDD for this query" answer; the
+  /// returned set is sound (every disjunct is a correct rewriting) but may
+  /// be incomplete.
+  kBudgetExhausted,
+  /// The theory contains a rule this engine does not handle (multi-head).
+  /// The paper's multi-head theory T_d has a dedicated procedure in the
+  /// `frontier` module; its catalog single-head encoding goes through here.
+  kUnsupportedRule,
+};
+
+/// Budgets for the saturation loop.
+struct RewritingOptions {
+  /// Maximum number of CQs ever admitted to the rewriting set.
+  size_t max_queries = 4000;
+  /// Candidate disjuncts larger than this are dropped (and the run is
+  /// marked kBudgetExhausted, since dropping loses completeness).
+  size_t max_atoms_per_query = 64;
+  /// Maximum number of worklist expansions.
+  uint32_t max_iterations = 20000;
+};
+
+/// The result of rewriting one CQ.
+struct RewritingResult {
+  /// The rewriting set: pairwise incomparable CQs (no disjunct contains
+  /// another, per Theorem 1's minimality condition), each minimized.
+  std::vector<ConjunctiveQuery> queries;
+  RewritingStatus status = RewritingStatus::kConverged;
+  /// True if some disjunct degenerated to the empty query: the original
+  /// query is entailed by every instance with the relevant pattern
+  /// trivially (only possible with empty-body rules).
+  bool always_true = false;
+  size_t iterations = 0;
+  size_t candidates_generated = 0;
+
+  /// The paper's `rs_T(psi)`: the maximal number of atoms in a disjunct.
+  size_t MaxDisjunctSize() const;
+};
+
+/// UCQ rewriting by *piece unification* (backward application of rules),
+/// the standard sound-and-complete procedure for single-head existential
+/// rules.  This realizes the `rew(psi)` of Theorem 1 whenever it
+/// converges; together with the chase it gives both directions of
+/// `Ch(T,D) |= psi  <=>  D |= rew(psi)`.
+///
+/// One extension beyond the textbook algorithm is needed for the paper's
+/// pins-style rules (`true -> exists z R(x,z)`): a backward step can leave
+/// an answer variable constrained only by "is in the active domain", which
+/// a CQ cannot say.  Such disjuncts are expanded into one disjunct per
+/// (predicate, position) of the signature, planting the dangling variable
+/// in a fresh atom — a finite, equivalent UCQ.
+class Rewriter {
+ public:
+  Rewriter(Vocabulary& vocab, const Theory& theory);
+
+  /// Rewrites `query` under the engine's theory.
+  RewritingResult Rewrite(const ConjunctiveQuery& query,
+                          const RewritingOptions& options = {}) const;
+
+  /// `rs_T^{at}`-style helper: rewrites the atomic query `P(x1,...,xk)`
+  /// with all variables free.
+  RewritingResult RewriteAtomicQuery(PredicateId predicate,
+                                     const RewritingOptions& options = {});
+
+ private:
+  Vocabulary& vocab_;
+  Theory theory_;
+  bool has_multi_head_ = false;
+  /// Predicates of the theory, for active-domain expansion.
+  std::vector<PredicateId> signature_;
+};
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_REWRITING_REWRITER_H_

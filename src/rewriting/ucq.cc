@@ -1,0 +1,91 @@
+#include "rewriting/ucq.h"
+
+#include <algorithm>
+#include <set>
+
+#include "hom/query_ops.h"
+
+namespace frontiers {
+
+size_t Ucq::MaxDisjunctSize() const {
+  size_t max = 0;
+  for (const ConjunctiveQuery& q : disjuncts) max = std::max(max, q.size());
+  return max;
+}
+
+bool Holds(const Vocabulary& vocab, const Ucq& ucq, const FactSet& facts,
+           const std::vector<TermId>& answer) {
+  if (ucq.always_true) return !facts.empty();
+  for (const ConjunctiveQuery& q : ucq.disjuncts) {
+    if (Holds(vocab, q, facts, answer)) return true;
+  }
+  return false;
+}
+
+bool HoldsBoolean(const Vocabulary& vocab, const Ucq& ucq,
+                  const FactSet& facts) {
+  return Holds(vocab, ucq, facts, {});
+}
+
+std::vector<std::vector<TermId>> EvaluateUcq(const Vocabulary& vocab,
+                                             const Ucq& ucq,
+                                             const FactSet& facts) {
+  std::set<std::vector<TermId>> answers;
+  for (const ConjunctiveQuery& q : ucq.disjuncts) {
+    for (std::vector<TermId>& tuple : EvaluateQuery(vocab, q, facts)) {
+      answers.insert(std::move(tuple));
+    }
+  }
+  return {answers.begin(), answers.end()};
+}
+
+bool InsertMinimal(const Vocabulary& vocab, ConjunctiveQuery query,
+                   Ucq* ucq) {
+  for (const ConjunctiveQuery& existing : ucq->disjuncts) {
+    if (Contains(vocab, existing, query)) return false;
+  }
+  std::vector<ConjunctiveQuery> kept;
+  kept.reserve(ucq->disjuncts.size() + 1);
+  for (ConjunctiveQuery& existing : ucq->disjuncts) {
+    if (!Contains(vocab, query, existing)) {
+      kept.push_back(std::move(existing));
+    }
+  }
+  kept.push_back(std::move(query));
+  ucq->disjuncts = std::move(kept);
+  return true;
+}
+
+bool EquivalentUcqs(const Vocabulary& vocab, const Ucq& a, const Ucq& b) {
+  if (a.always_true || b.always_true) {
+    return a.always_true == b.always_true;
+  }
+  // Every disjunct of a must be contained in some disjunct of b (i.e. some
+  // disjunct of b is at least as general), and vice versa.
+  auto covered = [&vocab](const Ucq& fine, const Ucq& coarse) {
+    for (const ConjunctiveQuery& q : fine.disjuncts) {
+      bool found = false;
+      for (const ConjunctiveQuery& general : coarse.disjuncts) {
+        if (Contains(vocab, general, q)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+    return true;
+  };
+  return covered(a, b) && covered(b, a);
+}
+
+std::string UcqToString(const Vocabulary& vocab, const Ucq& ucq) {
+  if (ucq.always_true) return "(always true)\n";
+  std::string out;
+  for (const ConjunctiveQuery& q : ucq.disjuncts) {
+    out += QueryToString(vocab, q);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace frontiers

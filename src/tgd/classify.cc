@@ -1,0 +1,187 @@
+#include "tgd/classify.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tgd/conjunctive_query.h"
+
+namespace frontiers {
+
+bool IsLinear(const Theory& theory) {
+  for (const Tgd& rule : theory.rules) {
+    if (rule.body.size() > 1) return false;
+  }
+  return true;
+}
+
+bool IsDatalog(const Theory& theory) {
+  for (const Tgd& rule : theory.rules) {
+    if (!IsDatalogRule(rule)) return false;
+  }
+  return true;
+}
+
+bool IsGuarded(const Vocabulary& vocab, const Theory& theory) {
+  for (const Tgd& rule : theory.rules) {
+    if (rule.body.empty()) continue;
+    std::unordered_set<TermId> body_vars(rule.body_vars.begin(),
+                                         rule.body_vars.end());
+    bool has_guard = false;
+    for (const Atom& atom : rule.body) {
+      std::unordered_set<TermId> in_atom;
+      for (TermId t : atom.args) {
+        if (vocab.IsVariable(t)) in_atom.insert(t);
+      }
+      if (in_atom.size() == body_vars.size()) {
+        has_guard = true;
+        break;
+      }
+    }
+    if (!has_guard) return false;
+  }
+  return true;
+}
+
+bool IsConnectedRule(const Vocabulary& vocab, const Tgd& rule) {
+  ConjunctiveQuery body_query;
+  body_query.atoms = rule.body;
+  return IsConnected(vocab, body_query);
+}
+
+bool IsConnectedTheory(const Vocabulary& vocab, const Theory& theory) {
+  for (const Tgd& rule : theory.rules) {
+    if (!IsConnectedRule(vocab, rule)) return false;
+  }
+  return true;
+}
+
+bool IsBinarySignature(const Vocabulary& vocab, const Theory& theory) {
+  for (const Tgd& rule : theory.rules) {
+    for (const Atom& atom : rule.body) {
+      if (vocab.PredicateArity(atom.predicate) > 2) return false;
+    }
+    for (const Atom& atom : rule.head) {
+      if (vocab.PredicateArity(atom.predicate) > 2) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+using Position = std::pair<PredicateId, uint32_t>;
+
+// Positions (in any atom of `atoms`) at which variable `v` occurs.
+std::vector<Position> PositionsOf(TermId v, const std::vector<Atom>& atoms) {
+  std::vector<Position> out;
+  for (const Atom& atom : atoms) {
+    for (uint32_t i = 0; i < atom.args.size(); ++i) {
+      if (atom.args[i] == v) out.push_back({atom.predicate, i});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsSticky(const Vocabulary& vocab, const Theory& theory) {
+  // Marking procedure over predicate positions (Cali-Gottlob-Pieris).
+  std::set<Position> marked;
+
+  // Initial step: body positions of variables that do not reach the head.
+  for (const Tgd& rule : theory.rules) {
+    std::unordered_set<TermId> head_vars;
+    for (const Atom& atom : rule.head) {
+      for (TermId t : atom.args) {
+        if (vocab.IsVariable(t)) head_vars.insert(t);
+      }
+    }
+    for (TermId v : rule.body_vars) {
+      if (head_vars.count(v) == 0) {
+        for (const Position& p : PositionsOf(v, rule.body)) marked.insert(p);
+      }
+    }
+  }
+
+  // Propagation: if a body variable reaches a marked head position, mark all
+  // of its body positions.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Tgd& rule : theory.rules) {
+      for (TermId v : rule.body_vars) {
+        bool reaches_marked = false;
+        for (const Position& p : PositionsOf(v, rule.head)) {
+          if (marked.count(p) > 0) {
+            reaches_marked = true;
+            break;
+          }
+        }
+        if (!reaches_marked) continue;
+        for (const Position& p : PositionsOf(v, rule.body)) {
+          if (marked.insert(p).second) changed = true;
+        }
+      }
+    }
+  }
+
+  // Sticky test: no variable occurring more than once in a body may sit at
+  // a marked position.
+  for (const Tgd& rule : theory.rules) {
+    std::unordered_map<TermId, uint32_t> occurrences;
+    for (const Atom& atom : rule.body) {
+      for (TermId t : atom.args) {
+        if (vocab.IsVariable(t)) ++occurrences[t];
+      }
+    }
+    for (const auto& [v, count] : occurrences) {
+      if (count < 2) continue;
+      for (const Position& p : PositionsOf(v, rule.body)) {
+        if (marked.count(p) > 0) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsDetachedRule(const Tgd& rule) {
+  return !IsDatalogRule(rule) && rule.frontier.empty() &&
+         rule.domain_vars.empty();
+}
+
+Theory DatalogPart(const Theory& theory) {
+  Theory out;
+  out.name = theory.name + "_DL";
+  for (const Tgd& rule : theory.rules) {
+    if (IsDatalogRule(rule)) out.rules.push_back(rule);
+  }
+  return out;
+}
+
+Theory ExistentialPart(const Theory& theory) {
+  Theory out;
+  out.name = theory.name + "_exists";
+  for (const Tgd& rule : theory.rules) {
+    if (!IsDatalogRule(rule)) out.rules.push_back(rule);
+  }
+  return out;
+}
+
+std::string DescribeClasses(const Vocabulary& vocab, const Theory& theory) {
+  std::string out;
+  auto add = [&out](const std::string& tag) {
+    if (!out.empty()) out += ", ";
+    out += tag;
+  };
+  if (IsLinear(theory)) add("linear");
+  if (IsDatalog(theory)) add("datalog");
+  if (IsGuarded(vocab, theory)) add("guarded");
+  if (IsSticky(vocab, theory)) add("sticky");
+  if (IsConnectedTheory(vocab, theory)) add("connected");
+  if (IsBinarySignature(vocab, theory)) add("binary");
+  if (out.empty()) out = "(none of the syntactic classes)";
+  return out;
+}
+
+}  // namespace frontiers

@@ -1,0 +1,62 @@
+#ifndef FRONTIERS_TGD_CLASSIFY_H_
+#define FRONTIERS_TGD_CLASSIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/vocabulary.h"
+#include "tgd/tgd.h"
+
+namespace frontiers {
+
+/// Syntactic classifiers for the theory classes named in the paper's
+/// introduction.  Membership in each of these classes implies (or is
+/// folklore-equivalent to) properties the experiments measure: linear and
+/// guarded-BDD theories are local (Theorem 3 remark), sticky theories are
+/// BDD and bd-local (Section 9), Datalog theories never invent terms, etc.
+
+/// True if every rule body has at most one atom ("linear").
+bool IsLinear(const Theory& theory);
+
+/// True if no rule has existential variables ("Datalog").
+bool IsDatalog(const Theory& theory);
+
+/// True if every rule body contains a *guard*: an atom containing all the
+/// universal variables of the body.  Rules with empty bodies count as
+/// guarded.
+bool IsGuarded(const Vocabulary& vocab, const Theory& theory);
+
+/// True if every rule body is connected (its Gaifman graph on variables is
+/// connected); Section 2, "Connected queries, rules and theories".
+bool IsConnectedTheory(const Vocabulary& vocab, const Theory& theory);
+/// Connectivity of a single rule body.
+bool IsConnectedRule(const Vocabulary& vocab, const Tgd& rule);
+
+/// True if every relation symbol used by the theory has arity at most 2.
+bool IsBinarySignature(const Vocabulary& vocab, const Theory& theory);
+
+/// True if the theory is *sticky* (Calì, Gottlob, Pieris): computes the
+/// marking fixpoint over predicate positions and checks that no variable
+/// occurring more than once in some rule body sits at a marked position.
+/// Only defined for single-head theories; multi-head rules are treated by
+/// checking every head atom during propagation.
+bool IsSticky(const Vocabulary& vocab, const Theory& theory);
+
+/// A rule is *detached* (Section 13) if it is existential and has an empty
+/// frontier, i.e. its freshly created atom shares no terms with the rest of
+/// the chase.
+bool IsDetachedRule(const Tgd& rule);
+
+/// The Datalog rules of a theory (`T_DL`, Section 13).
+Theory DatalogPart(const Theory& theory);
+
+/// The existential rules of a theory (`T_exists`, Section 13).
+Theory ExistentialPart(const Theory& theory);
+
+/// Human-readable classification summary for reports:
+/// e.g. "linear, guarded, connected, binary".
+std::string DescribeClasses(const Vocabulary& vocab, const Theory& theory);
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_TGD_CLASSIFY_H_

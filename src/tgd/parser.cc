@@ -1,0 +1,471 @@
+#include "tgd/parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace frontiers {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kLParen,
+  kRParen,
+  kComma,
+  kColon,
+  kSemicolon,
+  kDot,
+  kArrow,      // ->
+  kTurnstile,  // :-
+  kNewline,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t position;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    while (i < text_.size()) {
+      char c = text_[i];
+      if (c == '#') {
+        while (i < text_.size() && text_[i] != '\n') ++i;
+        continue;
+      }
+      if (c == '\n') {
+        tokens.push_back({TokenKind::kNewline, "\n", i});
+        ++i;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '-' && i + 1 < text_.size() && text_[i + 1] == '>') {
+        tokens.push_back({TokenKind::kArrow, "->", i});
+        i += 2;
+        continue;
+      }
+      if (c == ':' && i + 1 < text_.size() && text_[i + 1] == '-') {
+        tokens.push_back({TokenKind::kTurnstile, ":-", i});
+        i += 2;
+        continue;
+      }
+      switch (c) {
+        case '(':
+          tokens.push_back({TokenKind::kLParen, "(", i});
+          ++i;
+          continue;
+        case ')':
+          tokens.push_back({TokenKind::kRParen, ")", i});
+          ++i;
+          continue;
+        case ',':
+          tokens.push_back({TokenKind::kComma, ",", i});
+          ++i;
+          continue;
+        case ':':
+          tokens.push_back({TokenKind::kColon, ":", i});
+          ++i;
+          continue;
+        case ';':
+          tokens.push_back({TokenKind::kSemicolon, ";", i});
+          ++i;
+          continue;
+        case '.':
+          tokens.push_back({TokenKind::kDot, ".", i});
+          ++i;
+          continue;
+        default:
+          break;
+      }
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[i])) ||
+                text_[i] == '_' || text_[i] == '\'')) {
+          ++i;
+        }
+        tokens.push_back({TokenKind::kIdent,
+                          std::string(text_.substr(start, i - start)), start});
+        continue;
+      }
+      return Status::Error("unexpected character '" + std::string(1, c) +
+                           "' at position " + std::to_string(i));
+    }
+    tokens.push_back({TokenKind::kEnd, "", text_.size()});
+    return tokens;
+  }
+
+ private:
+  std::string_view text_;
+};
+
+bool IsVariableName(const std::string& name) {
+  return !name.empty() &&
+         (std::islower(static_cast<unsigned char>(name[0])) || name[0] == '_');
+}
+
+class Parser {
+ public:
+  Parser(Vocabulary& vocab, std::vector<Token> tokens)
+      : vocab_(vocab), tokens_(std::move(tokens)) {}
+
+  // --- token stream helpers ----------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() {
+    const Token& t = Peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  void SkipNewlines() {
+    while (Peek().kind == TokenKind::kNewline) Next();
+  }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  Status ErrorAt(const Token& token, const std::string& what) {
+    return Status::Error(what + " near position " +
+                         std::to_string(token.position) + " ('" + token.text +
+                         "')");
+  }
+
+  // --- grammar -------------------------------------------------------------
+
+  // atom := ident '(' [term {',' term}] ')'
+  Result<Atom> ParseAtom() {
+    const Token& name = Next();
+    if (name.kind != TokenKind::kIdent) {
+      return ErrorAt(name, "expected predicate name");
+    }
+    if (Next().kind != TokenKind::kLParen) {
+      return ErrorAt(Peek(), "expected '(' after predicate name");
+    }
+    std::vector<TermId> args;
+    if (Peek().kind != TokenKind::kRParen) {
+      for (;;) {
+        const Token& term = Next();
+        if (term.kind != TokenKind::kIdent) {
+          return ErrorAt(term, "expected term");
+        }
+        args.push_back(IsVariableName(term.text)
+                           ? vocab_.Variable(term.text)
+                           : vocab_.Constant(term.text));
+        if (Peek().kind == TokenKind::kComma) {
+          Next();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Next().kind != TokenKind::kRParen) {
+      return ErrorAt(Peek(), "expected ')'");
+    }
+    auto existing = vocab_.FindPredicate(name.text);
+    if (existing.has_value() &&
+        vocab_.PredicateArity(*existing) != args.size()) {
+      return ErrorAt(name, "predicate '" + name.text + "' used with arity " +
+                               std::to_string(args.size()) + " but declared " +
+                               std::to_string(vocab_.PredicateArity(*existing)));
+    }
+    PredicateId pred =
+        vocab_.AddPredicate(name.text, static_cast<uint32_t>(args.size()));
+    return Atom(pred, std::move(args));
+  }
+
+  // atoms := atom {',' atom}; newlines are not atom separators.
+  Result<std::vector<Atom>> ParseAtoms() {
+    std::vector<Atom> atoms;
+    for (;;) {
+      Result<Atom> atom = ParseAtom();
+      if (!atom.ok()) return atom.status();
+      atoms.push_back(std::move(atom.value()));
+      if (Peek().kind == TokenKind::kComma) {
+        Next();
+        SkipNewlines();
+        continue;
+      }
+      break;
+    }
+    return atoms;
+  }
+
+  // rule := [label ':'] body '->' head
+  Result<Tgd> ParseOneRule() {
+    std::string label;
+    if (Peek().kind == TokenKind::kIdent &&
+        Peek(1).kind == TokenKind::kColon) {
+      label = Next().text;
+      Next();  // ':'
+      SkipNewlines();
+    }
+    std::vector<Atom> body;
+    if (Peek().kind == TokenKind::kIdent && Peek().text == "true" &&
+        Peek(1).kind != TokenKind::kLParen) {
+      Next();
+    } else {
+      Result<std::vector<Atom>> parsed = ParseAtoms();
+      if (!parsed.ok()) return parsed.status();
+      body = std::move(parsed.value());
+    }
+    if (Next().kind != TokenKind::kArrow) {
+      return ErrorAt(Peek(), "expected '->'");
+    }
+    SkipNewlines();
+    std::vector<TermId> existentials;
+    if (Peek().kind == TokenKind::kIdent && Peek().text == "exists") {
+      Next();
+      for (;;) {
+        const Token& v = Next();
+        if (v.kind != TokenKind::kIdent || !IsVariableName(v.text)) {
+          return ErrorAt(v, "expected existential variable name");
+        }
+        existentials.push_back(vocab_.Variable(v.text));
+        if (Peek().kind == TokenKind::kComma) {
+          Next();
+          continue;
+        }
+        break;
+      }
+      if (Peek().kind == TokenKind::kDot) Next();
+      SkipNewlines();
+    }
+    Result<std::vector<Atom>> head = ParseAtoms();
+    if (!head.ok()) return head.status();
+    return MakeTgd(vocab_, std::move(body), std::move(head.value()),
+                   std::move(existentials), std::move(label));
+  }
+
+  Result<Theory> ParseWholeTheory(std::string name) {
+    Theory theory;
+    theory.name = std::move(name);
+    for (;;) {
+      SkipNewlines();
+      while (Peek().kind == TokenKind::kSemicolon) {
+        Next();
+        SkipNewlines();
+      }
+      if (AtEnd()) break;
+      Result<Tgd> rule = ParseOneRule();
+      if (!rule.ok()) return rule.status();
+      theory.rules.push_back(std::move(rule.value()));
+      if (Peek().kind != TokenKind::kSemicolon &&
+          Peek().kind != TokenKind::kNewline && !AtEnd()) {
+        return ErrorAt(Peek(), "expected ';' or newline between rules");
+      }
+    }
+    return theory;
+  }
+
+  Result<ConjunctiveQuery> ParseWholeQuery() {
+    SkipNewlines();
+    ConjunctiveQuery query;
+    // Optional `name(v1,...,vk) :-` answer-variable header.  The header
+    // name is arbitrary and is *not* interned as a predicate (so `q(x)`
+    // and `q(x,y)` headers in the same vocabulary do not clash).
+    size_t save = pos_;
+    if (Peek().kind == TokenKind::kIdent &&
+        Peek(1).kind == TokenKind::kLParen) {
+      std::vector<TermId> header_vars;
+      bool header_ok = true;
+      Next();  // header name
+      Next();  // '('
+      if (Peek().kind != TokenKind::kRParen) {
+        for (;;) {
+          const Token& term = Peek();
+          if (term.kind != TokenKind::kIdent) {
+            header_ok = false;
+            break;
+          }
+          Next();
+          header_vars.push_back(IsVariableName(term.text)
+                                    ? vocab_.Variable(term.text)
+                                    : vocab_.Constant(term.text));
+          if (Peek().kind == TokenKind::kComma) {
+            Next();
+            continue;
+          }
+          break;
+        }
+      }
+      if (header_ok && Peek().kind == TokenKind::kRParen) {
+        Next();
+      } else {
+        header_ok = false;
+      }
+      if (header_ok && Peek().kind == TokenKind::kTurnstile) {
+        Next();
+        SkipNewlines();
+        for (TermId v : header_vars) {
+          if (!vocab_.IsVariable(v)) {
+            return Status::Error(
+                "answer positions of a query must hold variables");
+          }
+          query.answer_vars.push_back(v);
+        }
+      } else {
+        pos_ = save;  // Boolean query beginning with an atom.
+      }
+    }
+    Result<std::vector<Atom>> atoms = ParseAtoms();
+    if (!atoms.ok()) return atoms.status();
+    query.atoms = std::move(atoms.value());
+    SkipNewlines();
+    if (!AtEnd()) return ErrorAt(Peek(), "trailing input after query");
+    // Answer variables must occur in the body.
+    for (TermId v : query.answer_vars) {
+      bool found = false;
+      for (const Atom& atom : query.atoms) {
+        if (atom.ContainsTerm(v)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::Error("answer variable " + vocab_.TermToString(v) +
+                             " does not occur in the query body");
+      }
+    }
+    return query;
+  }
+
+  Result<FactSet> ParseWholeFacts() {
+    SkipNewlines();
+    FactSet facts;
+    if (AtEnd()) return facts;
+    Result<std::vector<Atom>> atoms = ParseAtoms();
+    if (!atoms.ok()) return atoms.status();
+    for (const Atom& atom : atoms.value()) {
+      for (TermId t : atom.args) {
+        if (vocab_.IsVariable(t)) {
+          return Status::Error("fact contains variable " +
+                               vocab_.TermToString(t));
+        }
+      }
+      facts.Insert(atom);
+    }
+    SkipNewlines();
+    if (!AtEnd()) return ErrorAt(Peek(), "trailing input after facts");
+    return facts;
+  }
+
+ private:
+  Vocabulary& vocab_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+template <typename T>
+Result<T> WithTokens(Vocabulary& vocab, std::string_view text,
+                     Result<T> (*run)(Parser&)) {
+  Result<std::vector<Token>> tokens = Lexer(text).Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(vocab, std::move(tokens.value()));
+  return run(parser);
+}
+
+}  // namespace
+
+Result<Tgd> ParseRule(Vocabulary& vocab, std::string_view text) {
+  return WithTokens<Tgd>(vocab, text, +[](Parser& p) {
+    p.SkipNewlines();
+    Result<Tgd> rule = p.ParseOneRule();
+    if (!rule.ok()) return rule;
+    p.SkipNewlines();
+    if (!p.AtEnd()) {
+      return Result<Tgd>(Status::Error("trailing input after rule"));
+    }
+    return rule;
+  });
+}
+
+Result<Theory> ParseTheory(Vocabulary& vocab, std::string_view text,
+                           std::string name) {
+  Result<std::vector<Token>> tokens = Lexer(text).Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(vocab, std::move(tokens.value()));
+  return parser.ParseWholeTheory(std::move(name));
+}
+
+Result<ConjunctiveQuery> ParseQuery(Vocabulary& vocab, std::string_view text) {
+  return WithTokens<ConjunctiveQuery>(
+      vocab, text, +[](Parser& p) { return p.ParseWholeQuery(); });
+}
+
+Result<FactSet> ParseFacts(Vocabulary& vocab, std::string_view text) {
+  return WithTokens<FactSet>(vocab, text,
+                             +[](Parser& p) { return p.ParseWholeFacts(); });
+}
+
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::Error("cannot open '" + path + "'");
+  }
+  std::string contents;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, got);
+  }
+  std::fclose(file);
+  return contents;
+}
+
+}  // namespace
+
+Result<Theory> LoadTheoryFile(Vocabulary& vocab, const std::string& path) {
+  Result<std::string> contents = ReadFile(path);
+  if (!contents.ok()) return contents.status();
+  return ParseTheory(vocab, contents.value(), path);
+}
+
+Result<FactSet> LoadFactsFile(Vocabulary& vocab, const std::string& path) {
+  Result<std::string> contents = ReadFile(path);
+  if (!contents.ok()) return contents.status();
+  // Atoms may be separated by newlines instead of commas: parse line by
+  // line and merge.
+  FactSet facts;
+  std::string line;
+  size_t start = 0;
+  const std::string& text = contents.value();
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    line = text.substr(start, end - start);
+    start = end + 1;
+    // Strip comments and whitespace-only lines.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    bool blank = true;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (blank) {
+      if (end == text.size()) break;
+      continue;
+    }
+    Result<FactSet> parsed = ParseFacts(vocab, line);
+    if (!parsed.ok()) return parsed.status();
+    facts.InsertAll(parsed.value());
+    if (end == text.size()) break;
+  }
+  return facts;
+}
+
+}  // namespace frontiers

@@ -1,0 +1,43 @@
+#ifndef FRONTIERS_TGD_SUBSTITUTION_H_
+#define FRONTIERS_TGD_SUBSTITUTION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/atom.h"
+#include "base/vocabulary.h"
+
+namespace frontiers {
+
+/// A (partial) mapping from terms to terms.  Used both as a variable
+/// assignment (query variables to domain elements) and as a homomorphism
+/// between structures.  Terms without an entry map to themselves.
+using Substitution = std::unordered_map<TermId, TermId>;
+
+/// Applies `sub` to a term (identity outside the substitution's domain).
+inline TermId Apply(const Substitution& sub, TermId t) {
+  auto it = sub.find(t);
+  return it == sub.end() ? t : it->second;
+}
+
+/// Applies `sub` to every argument of an atom.
+inline Atom Apply(const Substitution& sub, const Atom& atom) {
+  Atom out;
+  out.predicate = atom.predicate;
+  out.args.reserve(atom.args.size());
+  for (TermId t : atom.args) out.args.push_back(Apply(sub, t));
+  return out;
+}
+
+/// Applies `sub` to every atom of a list.
+inline std::vector<Atom> Apply(const Substitution& sub,
+                               const std::vector<Atom>& atoms) {
+  std::vector<Atom> out;
+  out.reserve(atoms.size());
+  for (const Atom& a : atoms) out.push_back(Apply(sub, a));
+  return out;
+}
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_TGD_SUBSTITUTION_H_

@@ -1,0 +1,149 @@
+#include "tgd/tgd.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace frontiers {
+
+namespace {
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "frontiers: fatal: %s\n", message.c_str());
+  std::abort();
+}
+
+std::vector<TermId> VariablesInOrder(const Vocabulary& vocab,
+                                     const std::vector<Atom>& atoms) {
+  std::vector<TermId> vars;
+  std::unordered_set<TermId> seen;
+  for (const Atom& atom : atoms) {
+    for (TermId t : atom.args) {
+      if (vocab.IsVariable(t) && seen.insert(t).second) vars.push_back(t);
+    }
+  }
+  return vars;
+}
+
+}  // namespace
+
+Tgd MakeTgd(const Vocabulary& vocab, std::vector<Atom> body,
+            std::vector<Atom> head, std::vector<TermId> existential_vars,
+            std::string name) {
+  if (head.empty()) Die("TGD '" + name + "' has an empty head");
+  Tgd rule;
+  rule.name = std::move(name);
+  rule.body = std::move(body);
+  rule.head = std::move(head);
+  rule.existential_vars = std::move(existential_vars);
+
+  rule.body_vars = VariablesInOrder(vocab, rule.body);
+  std::unordered_set<TermId> body_var_set(rule.body_vars.begin(),
+                                          rule.body_vars.end());
+  std::unordered_set<TermId> existential_set(rule.existential_vars.begin(),
+                                             rule.existential_vars.end());
+  for (TermId v : rule.existential_vars) {
+    if (body_var_set.count(v) > 0) {
+      Die("TGD '" + rule.name + "': existential variable " +
+          vocab.TermToString(v) + " occurs in the body");
+    }
+  }
+
+  std::vector<TermId> head_vars = VariablesInOrder(vocab, rule.head);
+  for (TermId v : head_vars) {
+    if (existential_set.count(v) > 0) continue;
+    rule.head_universal_vars.push_back(v);
+    if (body_var_set.count(v) > 0) {
+      rule.frontier.push_back(v);
+    } else {
+      rule.domain_vars.push_back(v);
+    }
+  }
+  return rule;
+}
+
+bool IsDatalogRule(const Tgd& rule) { return rule.existential_vars.empty(); }
+
+std::string RuleToString(const Vocabulary& vocab, const Tgd& rule) {
+  std::string out;
+  if (!rule.name.empty()) out += rule.name + ": ";
+  out += rule.body.empty() ? "true" : AtomsToString(vocab, rule.body);
+  out += " -> ";
+  if (!rule.existential_vars.empty()) {
+    out += "exists ";
+    for (size_t i = 0; i < rule.existential_vars.size(); ++i) {
+      if (i > 0) out += ",";
+      out += vocab.TermToString(rule.existential_vars[i]);
+    }
+    out += " . ";
+  }
+  out += AtomsToString(vocab, rule.head);
+  return out;
+}
+
+std::string TheoryToString(const Vocabulary& vocab, const Theory& theory) {
+  std::string out;
+  for (const Tgd& rule : theory.rules) {
+    out += RuleToString(vocab, rule);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string HeadTypeSignature(const Vocabulary& vocab, const Tgd& rule) {
+  // Canonical numbering: universal head variables are u0,u1,... and
+  // existential variables e0,e1,..., both by first occurrence in the head.
+  std::unordered_map<TermId, std::string> label;
+  std::unordered_set<TermId> existential_set(rule.existential_vars.begin(),
+                                             rule.existential_vars.end());
+  uint32_t next_u = 0, next_e = 0;
+  std::string sig;
+  for (const Atom& atom : rule.head) {
+    sig += vocab.PredicateName(atom.predicate);
+    sig += "(";
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (i > 0) sig += ",";
+      TermId t = atom.args[i];
+      if (!vocab.IsVariable(t)) {
+        sig += "c:" + vocab.TermToString(t);
+        continue;
+      }
+      auto it = label.find(t);
+      if (it == label.end()) {
+        std::string l = existential_set.count(t) > 0
+                            ? "e" + std::to_string(next_e++)
+                            : "u" + std::to_string(next_u++);
+        it = label.emplace(t, std::move(l)).first;
+      }
+      sig += it->second;
+    }
+    sig += ")";
+  }
+  return sig;
+}
+
+SkolemizedHead Skolemize(Vocabulary& vocab, const Tgd& rule) {
+  SkolemizedHead out;
+  out.fn_args = rule.head_universal_vars;
+  const std::string type = HeadTypeSignature(vocab, rule);
+  const uint32_t arity = static_cast<uint32_t>(out.fn_args.size());
+  // Re-derive the canonical existential labels in head-first-occurrence
+  // order so that the function symbol key matches the type signature.
+  std::unordered_set<TermId> existential_set(rule.existential_vars.begin(),
+                                             rule.existential_vars.end());
+  std::unordered_set<TermId> seen;
+  uint32_t next_e = 0;
+  for (const Atom& atom : rule.head) {
+    for (TermId t : atom.args) {
+      if (!vocab.IsVariable(t) || !seen.insert(t).second) continue;
+      if (existential_set.count(t) > 0) {
+        std::string fn_sig = type + "#e" + std::to_string(next_e++);
+        out.fn_of[t] = vocab.SkolemFunction(fn_sig, arity);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace frontiers

@@ -1,0 +1,104 @@
+#ifndef FRONTIERS_TGD_TGD_H_
+#define FRONTIERS_TGD_TGD_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/atom.h"
+#include "base/vocabulary.h"
+
+namespace frontiers {
+
+/// A Tuple Generating Dependency
+/// `forall x,y ( beta(x,y) -> exists w alpha(y,w) )` (Section 2).
+///
+/// The canonical form in the paper is single-head; this library supports
+/// heads with several atoms because the paper's own theory `T_d`
+/// (Definition 45) is stated with multi-head rules (footnote 31 sketches
+/// the single-head encoding, which the catalog also provides).
+///
+/// Two non-standard but paper-mandated liberties:
+///  * `body` may be empty — the paper's `(loop)` rule `true -> ...`;
+///  * a universal variable may occur in the head without occurring in the
+///    body — the paper's `(pins)` rule `forall x (true -> exists z R(x,z))`.
+///    Such variables are recorded in `domain_vars` and range over the
+///    active domain of the current structure during the chase.
+struct Tgd {
+  /// Optional label used in printing and experiment reports.
+  std::string name;
+  /// Body atoms `beta` (empty encodes `true`).
+  std::vector<Atom> body;
+  /// Head atoms `alpha` (at least one).
+  std::vector<Atom> head;
+  /// The existentially quantified head variables `w`, in declaration order.
+  std::vector<TermId> existential_vars;
+
+  // ---- Derived fields, computed by MakeTgd ----
+
+  /// Variables occurring in both body and head (`fr(rho)`, Section 2).
+  std::vector<TermId> frontier;
+  /// Universal head variables that do not occur in the body; they range
+  /// over the active domain (only the paper's (pins)-style rules use this).
+  std::vector<TermId> domain_vars;
+  /// All body variables, in first-occurrence order.
+  std::vector<TermId> body_vars;
+  /// Universal head variables (frontier + domain vars) in order of first
+  /// occurrence *in the head*; this is the Skolem function argument order
+  /// of Definition 4.
+  std::vector<TermId> head_universal_vars;
+};
+
+/// Builds a Tgd and computes its derived fields.  Head variables that are
+/// neither body variables nor listed in `existential_vars` become domain
+/// variables.  Aborts on malformed input (existential variable occurring in
+/// the body, empty head) — these are programming errors.
+Tgd MakeTgd(const Vocabulary& vocab, std::vector<Atom> body,
+            std::vector<Atom> head, std::vector<TermId> existential_vars,
+            std::string name = "");
+
+/// True if the rule has no existential variables (a Datalog rule).
+bool IsDatalogRule(const Tgd& rule);
+
+/// Renders `body -> exists w . head`.
+std::string RuleToString(const Vocabulary& vocab, const Tgd& rule);
+
+/// A theory / rule set: a finite set of TGDs (Section 2).
+struct Theory {
+  std::vector<Tgd> rules;
+
+  /// Optional label for reports.
+  std::string name;
+};
+
+/// Renders one rule per line.
+std::string TheoryToString(const Vocabulary& vocab, const Theory& theory);
+
+/// Canonical signature of the *isomorphism type* of a rule head
+/// (Definition 3): depends on the head's relation symbols, the equality
+/// pattern among its variables, which positions hold existential variables,
+/// and any constants — but not on variable names.  Heads of different rules
+/// with equal signatures share Skolem function symbols, exactly as
+/// Definition 4 requires (`f_i^tau` depends only on `tau`).
+std::string HeadTypeSignature(const Vocabulary& vocab, const Tgd& rule);
+
+/// The Skolemization `sh(rho)` of a rule head (Definition 4), in a form
+/// ready for rule application: for each existential variable the interned
+/// Skolem function, plus the ordered argument list (the universal head
+/// variables).
+struct SkolemizedHead {
+  /// Universal head variables in head-first-occurrence order; under an
+  /// assignment sigma, the Skolem term for existential `w` is
+  /// `fn_of.at(w)(sigma(fn_args[0]), ..., sigma(fn_args[k-1]))`.
+  std::vector<TermId> fn_args;
+  /// Skolem function symbol for each existential variable.
+  std::unordered_map<TermId, SkolemFnId> fn_of;
+};
+
+/// Interns the Skolem functions for `rule` in `vocab` and returns the
+/// skolemized head.
+SkolemizedHead Skolemize(Vocabulary& vocab, const Tgd& rule);
+
+}  // namespace frontiers
+
+#endif  // FRONTIERS_TGD_TGD_H_

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include "base/vocabulary.h"
+#include "catalog/instances.h"
+#include "catalog/queries.h"
+#include "catalog/strategies.h"
+#include "catalog/theories.h"
+#include "chase/chase.h"
+#include "hom/query_ops.h"
+#include "tgd/classify.h"
+#include "tgd/parser.h"
+
+namespace frontiers {
+namespace {
+
+// ---------------------------------------------------------- Theories ------
+
+TEST(CatalogTheoriesTest, ClassificationsMatchThePaper) {
+  Vocabulary vocab;
+  Theory t_p = ForwardPathTheory(vocab);
+  EXPECT_TRUE(IsLinear(t_p));
+  EXPECT_TRUE(IsSticky(vocab, t_p));
+  EXPECT_TRUE(IsBinarySignature(vocab, t_p));
+
+  Theory ex39 = StickyExample39Theory(vocab);
+  EXPECT_TRUE(IsSticky(vocab, ex39));
+  EXPECT_FALSE(IsBinarySignature(vocab, ex39));
+  EXPECT_TRUE(IsConnectedTheory(vocab, ex39));
+
+  Theory ex41 = Example41Theory(vocab);
+  EXPECT_FALSE(IsSticky(vocab, ex41));
+  EXPECT_TRUE(IsDatalog(ex41));
+
+  Theory t_c = TcTheory(vocab);
+  EXPECT_FALSE(IsBinarySignature(vocab, t_c));
+  EXPECT_TRUE(IsConnectedTheory(vocab, t_c));
+
+  Theory ex23 = Exercise23Theory(vocab);
+  EXPECT_TRUE(IsBinarySignature(vocab, ex23));
+  EXPECT_FALSE(IsLinear(ex23));
+}
+
+TEST(CatalogTheoriesTest, TdShapes) {
+  Vocabulary vocab;
+  Theory td = TdTheory(vocab);
+  EXPECT_EQ(td.rules.size(), 4u);
+  EXPECT_TRUE(IsBinarySignature(vocab, td));
+  Theory td1 = TdSingleHeadTheory(vocab);
+  for (const Tgd& rule : td1.rules) {
+    EXPECT_EQ(rule.head.size(), 1u) << RuleToString(vocab, rule);
+  }
+}
+
+TEST(CatalogTheoriesTest, TdK2MirrorsTd) {
+  Vocabulary vocab;
+  Theory tdk = TdKTheory(vocab, 2);
+  // loop + pins_1 + pins_2 + grid_1.
+  EXPECT_EQ(tdk.rules.size(), 4u);
+  EXPECT_TRUE(vocab.FindPredicate("I1").has_value());
+  EXPECT_TRUE(vocab.FindPredicate("I2").has_value());
+}
+
+TEST(CatalogTheoriesTest, TdKRuleCountMatchesSection12) {
+  Vocabulary vocab;
+  // 2K+1 rules per the paper: 1 loop, K pins, K-1 grids.
+  for (uint32_t k = 2; k <= 5; ++k) {
+    Vocabulary fresh;
+    Theory tdk = TdKTheory(fresh, k);
+    EXPECT_EQ(tdk.rules.size(), 2u * k) << "loop + K pins + (K-1) grids";
+  }
+  (void)vocab;
+}
+
+TEST(CatalogTheoriesTest, AllTheoriesPrintAndReparse) {
+  // TheoryToString output must reparse to the same rule shapes - the DSL
+  // round-trips the whole catalog.
+  struct Entry {
+    const char* name;
+    Theory (*make)(Vocabulary&);
+  };
+  const Entry entries[] = {
+      {"T_a", MotherTheory},       {"T_p", ForwardPathTheory},
+      {"Ex23", Exercise23Theory},  {"Ex39", StickyExample39Theory},
+      {"Ex41", Example41Theory},   {"T_c", TcTheory},
+      {"T_d", TdTheory},           {"T_d1", TdSingleHeadTheory},
+      {"Ex66", Example66Theory},
+  };
+  for (const Entry& entry : entries) {
+    Vocabulary vocab;
+    Theory original = entry.make(vocab);
+    std::string printed = TheoryToString(vocab, original);
+    Result<Theory> reparsed = ParseTheory(vocab, printed, entry.name);
+    ASSERT_TRUE(reparsed.ok())
+        << entry.name << ": " << reparsed.status().message() << "\n"
+        << printed;
+    ASSERT_EQ(reparsed.value().rules.size(), original.rules.size())
+        << entry.name;
+    for (size_t i = 0; i < original.rules.size(); ++i) {
+      EXPECT_EQ(reparsed.value().rules[i].body, original.rules[i].body)
+          << entry.name << " rule " << i;
+      EXPECT_EQ(reparsed.value().rules[i].head, original.rules[i].head)
+          << entry.name << " rule " << i;
+    }
+  }
+}
+
+TEST(CatalogTheoriesTest, TruncatedInfiniteTheoryLevels) {
+  Vocabulary vocab;
+  Theory ex28 = TruncatedInfiniteTheory(vocab, 4);
+  EXPECT_EQ(ex28.rules.size(), 4u);
+  EXPECT_TRUE(IsLinear(ex28));
+  EXPECT_TRUE(IsBinarySignature(vocab, ex28));
+}
+
+// ---------------------------------------------------------- Instances -----
+
+TEST(CatalogInstancesTest, PathAndCycle) {
+  Vocabulary vocab;
+  FactSet path = EdgePath(vocab, "G", 4);
+  EXPECT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.Domain().size(), 5u);
+  FactSet cycle = EdgeCycle(vocab, "E", 5, "c");
+  EXPECT_EQ(cycle.size(), 5u);
+  EXPECT_EQ(cycle.Domain().size(), 5u);
+}
+
+TEST(CatalogInstancesTest, Star39) {
+  Vocabulary vocab;
+  FactSet star = Star39Instance(vocab, 3);
+  EXPECT_EQ(star.size(), 4u);  // 1 wide atom + 3 colours
+}
+
+TEST(CatalogInstancesTest, Example66) {
+  Vocabulary vocab;
+  FactSet inst = Example66Instance(vocab, 5);
+  EXPECT_EQ(inst.size(), 6u);
+}
+
+TEST(CatalogInstancesTest, SubsetEnumeration) {
+  Vocabulary vocab;
+  FactSet path = EdgePath(vocab, "G", 5);
+  EXPECT_EQ(SubsetsOfSize(path, 2).size(), 10u);
+  EXPECT_EQ(SubsetsUpToSize(path, 2).size(), 15u);
+  EXPECT_EQ(SubsetsOfSize(path, 6).size(), 0u);
+  for (const FactSet& s : SubsetsOfSize(path, 5)) {
+    EXPECT_TRUE(s.SetEquals(path));
+  }
+}
+
+TEST(CatalogInstancesTest, RandomInstanceIsDeterministicAndBounded) {
+  Vocabulary vocab;
+  FactSet a = RandomBinaryInstance(vocab, {"E", "F"}, 10, 20, 7);
+  FactSet b = RandomBinaryInstance(vocab, {"E", "F"}, 10, 20, 7);
+  EXPECT_TRUE(a.SetEquals(b));
+  FactSet c = RandomBinaryInstance(vocab, {"E"}, 12, 30, 3, /*max_degree=*/2);
+  for (TermId t : c.Domain()) {
+    EXPECT_LE(c.AtomDegree(t), 2u);
+  }
+}
+
+// ------------------------------------------------------------- Queries ----
+
+TEST(CatalogQueriesTest, PhiRnShape) {
+  Vocabulary vocab;
+  ConjunctiveQuery phi = PhiRn(vocab, 3);
+  EXPECT_EQ(phi.size(), 7u);  // 2n + 1 atoms
+  EXPECT_EQ(phi.answer_vars.size(), 2u);
+  EXPECT_TRUE(IsConnected(vocab, phi));
+}
+
+TEST(CatalogQueriesTest, PathQueryShape) {
+  Vocabulary vocab;
+  ConjunctiveQuery g4 = PathQuery(vocab, "G", 4);
+  EXPECT_EQ(g4.size(), 4u);
+  EXPECT_EQ(g4.answer_vars.size(), 2u);
+}
+
+// -------------------------------------------- T_d chase + strategy --------
+
+class TdChaseTest : public ::testing::Test {
+ protected:
+  // Does Ch(T_d, G^length) |= phi_R^n(a0, a_length)?  Computed with the
+  // given filter (or none) to `rounds` rounds.
+  bool PhiHolds(Vocabulary& vocab, uint32_t n, uint32_t length,
+                uint32_t rounds, bool use_strategy) {
+    Theory td = TdTheory(vocab);
+    ChaseEngine engine(vocab, td);
+    FactSet path = EdgePath(vocab, "G", length, "a");
+    ChaseOptions options;
+    options.max_rounds = rounds;
+    options.max_atoms = 500'000;
+    if (use_strategy) options.filter = TdWitnessStrategy(vocab, td);
+    ChaseResult result = engine.Run(path, options);
+    ConjunctiveQuery phi = PhiRn(vocab, n);
+    return Holds(vocab, phi, result.facts,
+                 {PathConstant(vocab, "a", 0),
+                  PathConstant(vocab, "a", length)});
+  }
+};
+
+TEST_F(TdChaseTest, Figure1GridReachesPhiR3OnGreen8Path) {
+  // Figure 1 of the paper: the chase over G^8(a0,a8) builds a grid whose
+  // third row certifies phi_R^3(a0, a8).
+  Vocabulary vocab;
+  EXPECT_TRUE(PhiHolds(vocab, 3, 8, 16, /*use_strategy=*/true));
+}
+
+TEST_F(TdChaseTest, StrategyAgreesWithFullChaseSmall) {
+  // Validation of the witness strategy: for n=1 and every path length up
+  // to 4, the filtered chase and the unfiltered chase agree on phi_R^1.
+  for (uint32_t length = 1; length <= 4; ++length) {
+    Vocabulary vocab_full, vocab_strat;
+    bool full = PhiHolds(vocab_full, 1, length, 6, false);
+    bool strat = PhiHolds(vocab_strat, 1, length, 6, true);
+    EXPECT_EQ(full, strat) << "length " << length;
+    EXPECT_EQ(full, length == 2) << "phi_R^1 holds iff the path is G^2";
+  }
+}
+
+TEST_F(TdChaseTest, MinimalWitnessIsTwoToTheN) {
+  // Theorem 5 (B): phi_R^n(a0,aL) holds iff L = 2^n (for L up to 2^n+2).
+  for (uint32_t n = 1; n <= 2; ++n) {
+    const uint32_t want = 1u << n;
+    for (uint32_t length = 1; length <= want + 2; ++length) {
+      Vocabulary vocab;
+      bool holds = PhiHolds(vocab, n, length, 3 * want, true);
+      EXPECT_EQ(holds, length == want)
+          << "n=" << n << " length=" << length;
+    }
+  }
+}
+
+TEST_F(TdChaseTest, SingleHeadEncodingAgreesOnPhi) {
+  // The footnote-31 single-head encoding produces the same R/G-level
+  // answers as the multi-head theory.
+  for (uint32_t length = 1; length <= 3; ++length) {
+    Vocabulary vocab;
+    Theory td1 = TdSingleHeadTheory(vocab);
+    ChaseEngine engine(vocab, td1);
+    FactSet path = EdgePath(vocab, "G", length, "a");
+    ChaseResult result = engine.RunToDepth(path, 7);
+    ConjunctiveQuery phi = PhiRn(vocab, 1);
+    bool holds = Holds(vocab, phi, result.facts,
+                       {PathConstant(vocab, "a", 0),
+                        PathConstant(vocab, "a", length)});
+    EXPECT_EQ(holds, length == 2) << "length " << length;
+  }
+}
+
+TEST_F(TdChaseTest, LoopRuleMakesBooleanQueriesTrue) {
+  // Section 10: due to (loop), every Boolean query over {R,G} holds in
+  // Ch_1 of any instance.
+  Vocabulary vocab;
+  Theory td = TdTheory(vocab);
+  ChaseEngine engine(vocab, td);
+  ChaseResult result = engine.RunToDepth(FactSet(), 2);
+  Result<ConjunctiveQuery> q = ParseQuery(vocab, "R(x,x), G(x,y), G(y,y)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(HoldsBoolean(vocab, q.value(), result.facts));
+}
+
+TEST_F(TdChaseTest, TdK2MatchesTdWitnessSizes) {
+  // T_d^2 is T_d up to renaming: the minimal I_1-path witness for
+  // PhiTopKn(2, n) is 2^n.
+  for (uint32_t n = 1; n <= 2; ++n) {
+    const uint32_t want = 1u << n;
+    for (uint32_t length : {want - 1, want, want + 1}) {
+      if (length == 0) continue;
+      Vocabulary vocab;
+      Theory tdk = TdKTheory(vocab, 2);
+      ChaseEngine engine(vocab, tdk);
+      FactSet path = EdgePath(vocab, "I1", length, "a");
+      ChaseOptions options;
+      options.max_rounds = 3 * want;
+      options.filter = TdKWitnessStrategy(vocab, tdk, 2, path);
+      ChaseResult result = engine.Run(path, options);
+      ConjunctiveQuery phi = PhiTopKn(vocab, 2, n);
+      bool holds = Holds(vocab, phi, result.facts,
+                         {PathConstant(vocab, "a", 0),
+                          PathConstant(vocab, "a", length)});
+      EXPECT_EQ(holds, length == want) << "n=" << n << " len=" << length;
+    }
+  }
+}
+
+TEST_F(TdChaseTest, TdK3LevelTwoLawOnI2Paths) {
+  // Over I_2-path instances, grid_2 reproduces the 2^n law one level up.
+  for (uint32_t length = 1; length <= 4; ++length) {
+    Vocabulary vocab;
+    Theory tdk = TdKTheory(vocab, 3);
+    FactSet path = EdgePath(vocab, "I2", length, "b");
+    ChaseEngine engine(vocab, tdk);
+    ChaseOptions options;
+    options.max_rounds = 10;
+    options.max_atoms = 500000;
+    options.filter = TdKWitnessStrategy(vocab, tdk, 3, path);
+    ChaseResult result = engine.Run(path, options);
+    ConjunctiveQuery phi = PhiTopKn(vocab, 3, 1);
+    bool holds = Holds(vocab, phi, result.facts,
+                       {PathConstant(vocab, "b", 0),
+                        PathConstant(vocab, "b", length)});
+    EXPECT_EQ(holds, length == 2) << "length " << length;
+  }
+}
+
+TEST_F(TdChaseTest, TdK3ComposedTowerSmallCase) {
+  // The composed single-anchor query needs an I_1-path of at least
+  // 2^{2^n} edges ending at the anchor (longer paths contain the witness
+  // subpath, so the law is monotone, unlike the two-endpoint phi_R^n);
+  // for n = 1 the threshold is 4.
+  for (uint32_t length : {2u, 3u, 4u, 5u}) {
+    Vocabulary vocab;
+    Theory tdk = TdKTheory(vocab, 3);
+    FactSet path = EdgePath(vocab, "I1", length, "a");
+    ChaseEngine engine(vocab, tdk);
+    ChaseOptions options;
+    options.max_rounds = 2 * length + 12;
+    options.max_atoms = 500000;
+    options.filter = TdKWitnessStrategy(vocab, tdk, 3, path);
+    ChaseResult result = engine.Run(path, options);
+    ConjunctiveQuery psi = TdKComposedQuery(vocab, 1);
+    bool holds = Holds(vocab, psi, result.facts,
+                       {PathConstant(vocab, "a", length)});
+    EXPECT_EQ(holds, length >= 4) << "length " << length;
+  }
+}
+
+}  // namespace
+}  // namespace frontiers

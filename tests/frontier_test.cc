@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include "base/vocabulary.h"
+#include "catalog/instances.h"
+#include "catalog/queries.h"
+#include "catalog/theories.h"
+#include "chase/chase.h"
+#include "frontier/marked_query.h"
+#include "frontier/operations.h"
+#include "frontier/process.h"
+#include "frontier/ranks.h"
+#include "hom/query_ops.h"
+#include "tgd/parser.h"
+
+namespace frontiers {
+namespace {
+
+class FrontierTest : public ::testing::Test {
+ protected:
+  FrontierTest() : ctx_(TdContext::Make(vocab_)) {}
+
+  ConjunctiveQuery Query(const std::string& text) {
+    Result<ConjunctiveQuery> q = ParseQuery(vocab_, text);
+    EXPECT_TRUE(q.ok()) << q.status().message();
+    return q.value();
+  }
+  MarkedQuery Marked(const std::string& text,
+                     const std::vector<std::string>& marked) {
+    MarkedQuery q;
+    q.query = Query(text);
+    for (const std::string& name : marked) {
+      q.marked.insert(vocab_.Variable(name));
+    }
+    return q;
+  }
+
+  Vocabulary vocab_;
+  TdContext ctx_;
+};
+
+// ------------------------------------------------------- proper marking ---
+
+TEST_F(FrontierTest, MarkedTargetForcesMarkedSource) {
+  // Observation 50 (i).
+  EXPECT_FALSE(
+      IsProperlyMarked(vocab_, ctx_, Marked("q(y) :- G(x,y)", {"y"})));
+  EXPECT_TRUE(
+      IsProperlyMarked(vocab_, ctx_, Marked("q(y) :- G(x,y)", {"x", "y"})));
+  EXPECT_TRUE(IsProperlyMarked(vocab_, ctx_, Marked("G(x,y)", {"x"})));
+}
+
+TEST_F(FrontierTest, CycleVariablesMustBeMarked) {
+  // Observation 50 (ii): mixed-colour cycles too.
+  EXPECT_FALSE(IsProperlyMarked(vocab_, ctx_,
+                                Marked("R(x,y), G(y,x)", {"x"})));
+  EXPECT_TRUE(IsProperlyMarked(vocab_, ctx_,
+                               Marked("R(x,y), G(y,x)", {"x", "y"})));
+  EXPECT_FALSE(IsProperlyMarked(vocab_, ctx_, Marked("G(x,x)", {})));
+}
+
+TEST_F(FrontierTest, CoTargetsShareMarking) {
+  // Observation 50 (iii): same-coloured edges into the same vertex.
+  EXPECT_FALSE(IsProperlyMarked(
+      vocab_, ctx_, Marked("G(x,u), G(y,u)", {"x"})));
+  EXPECT_TRUE(IsProperlyMarked(
+      vocab_, ctx_, Marked("G(x,u), G(y,u)", {"x", "y"})));
+  // Different colours into the same vertex are unconstrained.
+  EXPECT_TRUE(IsProperlyMarked(
+      vocab_, ctx_, Marked("G(x,u), R(y,u)", {"x"})));
+}
+
+TEST_F(FrontierTest, TotallyMarkedAndLive) {
+  MarkedQuery total = Marked("G(x,y)", {"x", "y"});
+  EXPECT_TRUE(IsTotallyMarked(vocab_, total));
+  EXPECT_FALSE(IsLive(vocab_, ctx_, total));
+  MarkedQuery live = Marked("G(x,y)", {"x"});
+  EXPECT_FALSE(IsTotallyMarked(vocab_, live));
+  EXPECT_TRUE(IsLive(vocab_, ctx_, live));
+}
+
+TEST_F(FrontierTest, MaximalVariableHasNoOutgoingEdge) {
+  MarkedQuery q = Marked("G(x,y), G(y,z)", {"x"});
+  std::optional<TermId> max = FindMaximalVariable(vocab_, ctx_, q);
+  ASSERT_TRUE(max.has_value());
+  EXPECT_EQ(*max, vocab_.Variable("z"));
+  // Totally marked query: no maximal variable.
+  EXPECT_FALSE(FindMaximalVariable(vocab_, ctx_,
+                                   Marked("G(x,y)", {"x", "y"}))
+                   .has_value());
+}
+
+// ------------------------------------------------------------ operations --
+
+TEST_F(FrontierTest, CutRemovesTheSoleAtom) {
+  MarkedQuery q = Marked("G(x,y), G(y,z)", {"x"});
+  MarkedQuery cut = ApplyCut(q, vocab_.Variable("z"));
+  EXPECT_EQ(cut.query.size(), 1u);
+  EXPECT_EQ(cut.query.atoms[0], q.query.atoms[0]);
+}
+
+TEST_F(FrontierTest, FuseRenamesSecondOntoFirst) {
+  MarkedQuery q = Marked("G(y,x), G(z,x), G(a,y), G(a,z)", {"a", "y", "z"});
+  MarkedQuery fused =
+      ApplyFuse(q, vocab_.Variable("y"), vocab_.Variable("z"));
+  // G(y,x) and G(z,x) collapse; G(a,y), G(a,z) collapse.
+  EXPECT_EQ(fused.query.size(), 2u);
+  EXPECT_FALSE(fused.IsMarked(vocab_.Variable("z")));
+}
+
+TEST_F(FrontierTest, ReduceProducesFourMarkings) {
+  MarkedQuery q = Marked("R(r,x), G(g,x), G(a,r), R(a,g)", {"a", "r", "g"});
+  std::vector<MarkedQuery> reduced =
+      ApplyReduce(vocab_, ctx_, q, vocab_.Variable("x"));
+  ASSERT_EQ(reduced.size(), 4u);
+  for (const MarkedQuery& r : reduced) {
+    EXPECT_EQ(r.query.size(), 5u)
+        << "two atoms removed, three added to the remaining two";
+    EXPECT_FALSE(r.query.atoms[0].ContainsTerm(vocab_.Variable("x")));
+  }
+  // Exactly one variant marks both fresh variables, one marks neither.
+  int both = 0, neither = 0;
+  for (const MarkedQuery& r : reduced) {
+    size_t fresh_marked = r.marked.size() - q.marked.size();
+    if (fresh_marked == 2) ++both;
+    if (fresh_marked == 0) ++neither;
+  }
+  EXPECT_EQ(both, 1);
+  EXPECT_EQ(neither, 1);
+}
+
+TEST_F(FrontierTest, StepDispatchMatchesLemma55) {
+  // (i) single in-atom -> cut.
+  StepResult cut =
+      StepLiveQuery(vocab_, ctx_, Marked("G(x,y), G(y,z)", {"x"}));
+  EXPECT_EQ(cut.operation, TdOperation::kCutGreen);
+  // (ii) one red + one green in-atom -> reduce.
+  StepResult reduce = StepLiveQuery(
+      vocab_, ctx_, Marked("R(r,x), G(g,x), G(a,r), R(a,g)",
+                           {"a", "r", "g"}));
+  EXPECT_EQ(reduce.operation, TdOperation::kReduce);
+  EXPECT_EQ(reduce.results.size(), 4u);
+  // (iii) two same-coloured in-atoms -> fuse.
+  StepResult fuse = StepLiveQuery(
+      vocab_, ctx_, Marked("G(y,x), G(z,x), G(a,y), G(a,z)",
+                           {"a", "y", "z"}));
+  EXPECT_EQ(fuse.operation, TdOperation::kFuseGreen);
+}
+
+// ------------------------------------------------------------------ ranks --
+
+TEST_F(FrontierTest, EdgeRankBasics) {
+  // No red atoms: base elevation 3^0 = 1; a single green step costs 1.
+  MarkedQuery q0 = Marked("G(a,b)", {"a"});
+  std::optional<BigNat> erk0 =
+      EdgeRank(vocab_, ctx_, q0, q0.query.atoms[0]);
+  ASSERT_TRUE(erk0.has_value());
+  EXPECT_EQ(erk0->ToString(), "1");
+
+  // One red atom, not traversed: base elevation 3; the green step costs 3.
+  MarkedQuery q1 = Marked("R(a,c), G(a,b)", {"a"});
+  std::optional<BigNat> erk1 =
+      EdgeRank(vocab_, ctx_, q1, q1.query.atoms[1]);
+  ASSERT_TRUE(erk1.has_value());
+  EXPECT_EQ(erk1->ToString(), "3");
+
+  // Climbing the red edge first raises the elevation to 3^2 = 9.
+  MarkedQuery q2 = Marked("R(a,b), G(b,c)", {"a"});
+  std::optional<BigNat> erk2 =
+      EdgeRank(vocab_, ctx_, q2, q2.query.atoms[1]);
+  ASSERT_TRUE(erk2.has_value());
+  EXPECT_EQ(erk2->ToString(), "9");
+}
+
+TEST_F(FrontierTest, EdgeRankDescendsThroughBackwardRed) {
+  // Hike: backward over R(b,a) from a (elevation drops 3 -> 1), then the
+  // green step costs 1.
+  MarkedQuery q = Marked("R(b,a), G(b,c)", {"a", "b"});
+  std::optional<BigNat> erk = EdgeRank(vocab_, ctx_, q, q.query.atoms[1]);
+  ASSERT_TRUE(erk.has_value());
+  // Starting at b directly costs 3; starting at a and descending costs 1.
+  EXPECT_EQ(erk->ToString(), "1");
+}
+
+TEST_F(FrontierTest, EdgeRankUnreachableWithoutMarkedVariables) {
+  MarkedQuery q = Marked("G(a,b)", {});
+  EXPECT_FALSE(EdgeRank(vocab_, ctx_, q, q.query.atoms[0]).has_value());
+}
+
+TEST_F(FrontierTest, QueryRankComparisons) {
+  MarkedQuery small = Marked("G(a,b)", {"a"});
+  MarkedQuery more_red = Marked("R(a,c), G(a,b)", {"a"});
+  QueryRank rs = ComputeQueryRank(vocab_, ctx_, small);
+  QueryRank rm = ComputeQueryRank(vocab_, ctx_, more_red);
+  EXPECT_LT(CompareQueryRank(rs, rm), 0) << "red count dominates";
+  EXPECT_EQ(CompareQueryRank(rs, rs), 0);
+  EXPECT_GT(CompareQueryRank(rm, rs), 0);
+}
+
+TEST_F(FrontierTest, SetRankMultisetOrdering) {
+  QueryRank low = ComputeQueryRank(vocab_, ctx_, Marked("G(a,b)", {"a"}));
+  QueryRank high =
+      ComputeQueryRank(vocab_, ctx_, Marked("R(a,c), G(a,b)", {"a"}));
+  // {high} > {low, low, low}: replacing an element by smaller ones shrinks.
+  EXPECT_LT(CompareSetRank({low, low, low}, {high}), 0);
+  EXPECT_GT(CompareSetRank({high, low}, {high}), 0);
+  EXPECT_EQ(CompareSetRank({high, low}, {low, high}), 0);
+}
+
+// ---------------------------------------------------------------- process --
+
+TEST_F(FrontierTest, ProcessOnPhiR1FindsTheGreenSquare) {
+  ConjunctiveQuery phi = PhiRn(vocab_, 1);
+  TdProcessOptions options;
+  options.check_rank_certificate = true;
+  TdProcessResult result = RunTdProcess(vocab_, ctx_, phi, options);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.rank_certificate_ok)
+      << "Lemma 53: every operation strictly decreases the rank";
+  EXPECT_GT(result.certificate_checks, 0u);
+  // Theorem 5 (B), n = 1: G^2 is a disjunct of the rewriting.
+  ConjunctiveQuery g2 = PathQuery(vocab_, "G", 2);
+  bool found = false;
+  for (const ConjunctiveQuery& d : result.rewriting) {
+    if (EquivalentQueries(vocab_, d, g2)) found = true;
+  }
+  EXPECT_TRUE(found) << "rewriting misses the G^2 disjunct";
+}
+
+TEST_F(FrontierTest, ProcessOnPhiR2FindsGFour) {
+  ConjunctiveQuery phi = PhiRn(vocab_, 2);
+  TdProcessResult result = RunTdProcess(vocab_, ctx_, phi);
+  EXPECT_TRUE(result.completed);
+  ConjunctiveQuery g4 = PathQuery(vocab_, "G", 4);
+  bool found = false;
+  for (const ConjunctiveQuery& d : result.rewriting) {
+    if (EquivalentQueries(vocab_, d, g4)) found = true;
+  }
+  EXPECT_TRUE(found) << "rewriting misses the G^4 disjunct (Theorem 5B)";
+}
+
+TEST_F(FrontierTest, ProcessAgreesWithFullChase) {
+  // The process is an independent decision procedure; cross-check it
+  // against the *unfiltered* chase of T_d on small instances.
+  ConjunctiveQuery phi = PhiRn(vocab_, 1);
+  TdProcessResult process = RunTdProcess(vocab_, ctx_, phi);
+  ASSERT_TRUE(process.completed);
+
+  Theory td = TdTheory(vocab_);
+  ChaseEngine engine(vocab_, td);
+  struct Case {
+    std::string facts;
+    std::string a;
+    std::string b;
+  };
+  for (const Case& c : std::vector<Case>{
+           {"G(A,B), G(B,C)", "A", "C"},   // the canonical 2^1 witness
+           {"G(A,B)", "A", "B"},           // too short
+           {"G(A,B), G(B,C)", "A", "B"},   // wrong endpoints
+           {"R(A,X), R(B,Y), G(X,Y)", "A", "B"},  // phi itself in D
+           {"R(A,X), R(B,Y)", "A", "B"},   // missing the green bridge
+           {"G(A,B), G(B,A)", "A", "A"},   // cycle
+       }) {
+    Result<FactSet> db = ParseFacts(vocab_, c.facts);
+    ASSERT_TRUE(db.ok());
+    std::vector<TermId> answer = {vocab_.Constant(c.a),
+                                  vocab_.Constant(c.b)};
+    ChaseOptions options;
+    options.max_rounds = 6;
+    options.max_atoms = 200000;
+    ChaseResult chase = engine.Run(db.value(), options);
+    bool via_chase = Holds(vocab_, phi, chase.facts, answer);
+    bool via_process = false;
+    for (const ConjunctiveQuery& d : process.rewriting) {
+      if (Holds(vocab_, d, db.value(), answer)) via_process = true;
+    }
+    EXPECT_EQ(via_chase, via_process)
+        << "disagreement on " << c.facts << " (" << c.a << "," << c.b << ")";
+  }
+}
+
+TEST_F(FrontierTest, ProcessStatisticsAreConsistent) {
+  ConjunctiveQuery phi = PhiRn(vocab_, 1);
+  TdProcessResult result = RunTdProcess(vocab_, ctx_, phi);
+  EXPECT_GT(result.steps, 0u);
+  EXPECT_GT(result.totally_marked, 0u);
+  size_t op_total = 0;
+  for (size_t c : result.operation_counts) op_total += c;
+  EXPECT_EQ(op_total, result.steps);
+}
+
+// -------------------------------------------------------------- marked sat --
+
+TEST_F(FrontierTest, HoldsMarkedDistinguishesChaseTerms) {
+  Theory td = TdTheory(vocab_);
+  ChaseEngine engine(vocab_, td);
+  Result<FactSet> db = ParseFacts(vocab_, "G(A,B)");
+  ASSERT_TRUE(db.ok());
+  ChaseOptions options;
+  options.max_rounds = 2;
+  options.max_atoms = 10000;
+  ChaseResult chase = engine.Run(db.value(), options);
+  std::unordered_set<TermId> dom(db.value().Domain().begin(),
+                                 db.value().Domain().end());
+  // R(a, z) with a marked, z unmarked: the pin of A - z must be invented.
+  MarkedQuery pin = Marked("q(a) :- R(a,z)", {"a"});
+  EXPECT_TRUE(HoldsMarked(vocab_, pin, chase.facts, dom,
+                          {vocab_.Constant("A")}));
+  // Fully marked version is false: D has no R atoms at all.
+  MarkedQuery pin_marked = Marked("q(a) :- R(a,z)", {"a", "z"});
+  EXPECT_FALSE(HoldsMarked(vocab_, pin_marked, chase.facts, dom,
+                           {vocab_.Constant("A")}));
+}
+
+TEST_F(FrontierTest, Lemma52OperationsPreserveMarkedSatisfaction) {
+  // Lemma 52 (soundness): for each operation, Ch |= Q iff Ch |= Q' for
+  // some result Q'.  Checked with Definition 48 satisfaction (marked
+  // variables to dom(D), unmarked to invented terms) over full T_d chases
+  // of small instances.
+  Theory td = TdTheory(vocab_);
+  ChaseEngine engine(vocab_, td);
+
+  struct Sample {
+    std::string query;
+    std::vector<std::string> marked;  // besides answer vars
+  };
+  const std::vector<Sample> samples = {
+      // cut-green: z maximal with one green in-edge.
+      {"q(a) :- G(a,y), G(y,z)", {"y"}},
+      // reduce: x has one red and one green in-edge.
+      {"q(a) :- R(r,x), G(g,x), G(a,r), R(a,g)", {"r", "g"}},
+      // cut-red.
+      {"q(a) :- R(a,z)", {}},
+  };
+  const std::vector<std::string> instances = {
+      "G(A,B), G(B,C)", "G(A,B)", "R(A,X), G(A,B)", "G(A,B), G(B,A)"};
+
+  for (const Sample& sample : samples) {
+    MarkedQuery q = Marked(sample.query, sample.marked);
+    for (TermId v : q.query.answer_vars) q.marked.insert(v);
+    if (!IsLive(vocab_, ctx_, q)) continue;
+    StepResult step = StepLiveQuery(vocab_, ctx_, q);
+    for (const std::string& db_text : instances) {
+      Result<FactSet> db = ParseFacts(vocab_, db_text);
+      ASSERT_TRUE(db.ok());
+      ChaseOptions options;
+      options.max_rounds = 5;
+      options.max_atoms = 100000;
+      ChaseResult chase = engine.Run(db.value(), options);
+      std::unordered_set<TermId> dom(db.value().Domain().begin(),
+                                     db.value().Domain().end());
+      for (TermId a : db.value().Domain()) {
+        bool before = HoldsMarked(vocab_, q, chase.facts, dom, {a});
+        bool after = false;
+        for (const MarkedQuery& child : step.results) {
+          if (HoldsMarked(vocab_, child, chase.facts, dom, {a})) {
+            after = true;
+          }
+        }
+        EXPECT_EQ(before, after)
+            << sample.query << " on " << db_text << " at "
+            << vocab_.TermToString(a) << " (op "
+            << OperationName(step.operation) << ")";
+      }
+    }
+  }
+}
+
+TEST_F(FrontierTest, CanonicalKeyDeduplicatesRenamings) {
+  MarkedQuery a = Marked("q(x) :- G(x,u), G(u,w)", {"x", "u"});
+  MarkedQuery b = Marked("q(x) :- G(x,s), G(s,t)", {"x", "s"});
+  EXPECT_EQ(CanonicalKey(vocab_, a), CanonicalKey(vocab_, b));
+  MarkedQuery c = Marked("q(x) :- G(x,s), G(s,t)", {"x", "s", "t"});
+  EXPECT_NE(CanonicalKey(vocab_, a), CanonicalKey(vocab_, c));
+}
+
+}  // namespace
+}  // namespace frontiers

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "base/fact_set.h"
+#include "base/vocabulary.h"
+#include "gaifman/gaifman.h"
+#include "tgd/parser.h"
+
+namespace frontiers {
+namespace {
+
+class GaifmanTest : public ::testing::Test {
+ protected:
+  FactSet Facts(const std::string& text) {
+    Result<FactSet> facts = ParseFacts(vocab_, text);
+    EXPECT_TRUE(facts.ok()) << facts.status().message();
+    return facts.value();
+  }
+  TermId C(const std::string& name) { return vocab_.Constant(name); }
+  Vocabulary vocab_;
+};
+
+TEST_F(GaifmanTest, PathDistances) {
+  FactSet path = Facts("E(A,B), E(B,C), E(C,D)");
+  GaifmanGraph graph(path);
+  EXPECT_EQ(graph.NumVertices(), 4u);
+  EXPECT_EQ(graph.Distance(C("A"), C("A")), 0u);
+  EXPECT_EQ(graph.Distance(C("A"), C("B")), 1u);
+  EXPECT_EQ(graph.Distance(C("A"), C("D")), 3u);
+  EXPECT_EQ(graph.Distance(C("D"), C("A")), 3u);
+}
+
+TEST_F(GaifmanTest, DisconnectedComponents) {
+  FactSet facts = Facts("E(A,B), E(C,D)");
+  GaifmanGraph graph(facts);
+  EXPECT_EQ(graph.Distance(C("A"), C("C")), kInfiniteDistance);
+  EXPECT_EQ(graph.NumComponents(), 2u);
+  EXPECT_TRUE(graph.SameComponent(C("A"), C("B")));
+  EXPECT_FALSE(graph.SameComponent(C("A"), C("C")));
+}
+
+TEST_F(GaifmanTest, UnknownTermsAreUnreachable) {
+  FactSet facts = Facts("E(A,B)");
+  GaifmanGraph graph(facts);
+  EXPECT_EQ(graph.Distance(C("A"), C("Z")), kInfiniteDistance);
+  EXPECT_FALSE(graph.SameComponent(C("A"), C("Z")));
+  EXPECT_EQ(graph.Degree(C("Z")), 0u);
+}
+
+TEST_F(GaifmanTest, DegreesOnStar) {
+  // Example 39's instance shape: one atom E(A,B1,B2,C1) + R(A,Ci) atoms.
+  FactSet star = Facts("E4(A,B1,B2,C1), R(A,C1), R(A,C2), R(A,C3)");
+  GaifmanGraph graph(star);
+  // A is adjacent to B1,B2,C1,C2,C3.
+  EXPECT_EQ(graph.Degree(C("A")), 5u);
+  EXPECT_EQ(graph.MaxDegree(), 5u);
+  EXPECT_EQ(graph.Degree(C("C2")), 1u);
+  // B1 is adjacent to A, B2, C1 through the wide atom.
+  EXPECT_EQ(graph.Degree(C("B1")), 3u);
+}
+
+TEST_F(GaifmanTest, HigherArityAtomsFormCliques) {
+  FactSet facts = Facts("T(A,B,D)");
+  GaifmanGraph graph(facts);
+  EXPECT_EQ(graph.Distance(C("A"), C("D")), 1u);
+  EXPECT_EQ(graph.Distance(C("B"), C("D")), 1u);
+}
+
+TEST_F(GaifmanTest, SelfLoopDoesNotAddNeighbor) {
+  FactSet facts = Facts("E(A,A), E(A,B)");
+  GaifmanGraph graph(facts);
+  EXPECT_EQ(graph.Degree(C("A")), 1u);
+}
+
+TEST_F(GaifmanTest, DistancesFromComputesAllReachable) {
+  FactSet cycle = Facts("E(A,B), E(B,C), E(C,A), E(X,Y)");
+  GaifmanGraph graph(cycle);
+  auto distances = graph.DistancesFrom(C("A"));
+  EXPECT_EQ(distances.size(), 3u);
+  EXPECT_EQ(distances[C("B")], 1u);
+  EXPECT_EQ(distances[C("C")], 1u);
+  EXPECT_EQ(distances.count(C("X")), 0u);
+}
+
+TEST_F(GaifmanTest, CycleDegreeIsTwo) {
+  // Example 42 uses degree-2 cycle instances D_n.
+  FactSet cycle = Facts("E(A1,A2), E(A2,A3), E(A3,A4), E(A4,A1)");
+  GaifmanGraph graph(cycle);
+  EXPECT_EQ(graph.MaxDegree(), 2u);
+  EXPECT_EQ(graph.NumComponents(), 1u);
+  EXPECT_EQ(graph.Distance(C("A1"), C("A3")), 2u);
+}
+
+}  // namespace
+}  // namespace frontiers

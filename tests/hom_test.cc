@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "base/fact_set.h"
+#include "base/vocabulary.h"
+#include "hom/matcher.h"
+#include "hom/query_ops.h"
+#include "hom/structure_ops.h"
+#include "tgd/parser.h"
+
+namespace frontiers {
+namespace {
+
+class HomTest : public ::testing::Test {
+ protected:
+  FactSet Facts(const std::string& text) {
+    Result<FactSet> facts = ParseFacts(vocab_, text);
+    EXPECT_TRUE(facts.ok()) << facts.status().message();
+    return facts.value();
+  }
+  ConjunctiveQuery Query(const std::string& text) {
+    Result<ConjunctiveQuery> q = ParseQuery(vocab_, text);
+    EXPECT_TRUE(q.ok()) << q.status().message();
+    return q.value();
+  }
+  Theory ParseT(const std::string& text) {
+    Result<Theory> t = ParseTheory(vocab_, text);
+    EXPECT_TRUE(t.ok()) << t.status().message();
+    return t.value();
+  }
+  TermId C(const std::string& name) { return vocab_.Constant(name); }
+  Vocabulary vocab_;
+};
+
+// --------------------------------------------------------------- Matcher --
+
+TEST_F(HomTest, BooleanQueryOverPath) {
+  FactSet path = Facts("E(A,B), E(B,D)");
+  EXPECT_TRUE(HoldsBoolean(vocab_, Query("E(x,y), E(y,z)"), path));
+  EXPECT_FALSE(HoldsBoolean(vocab_, Query("E(x,y), E(y,x)"), path));
+}
+
+TEST_F(HomTest, RigidConstantsMustMatchThemselves) {
+  FactSet path = Facts("E(A,B)");
+  EXPECT_TRUE(HoldsBoolean(vocab_, Query("E(A,x)"), path));
+  EXPECT_FALSE(HoldsBoolean(vocab_, Query("E(B,x)"), path));
+}
+
+TEST_F(HomTest, AnswerTupleEvaluation) {
+  FactSet path = Facts("E(A,B), E(B,D)");
+  ConjunctiveQuery q = Query("q(x,z) :- E(x,y), E(y,z)");
+  EXPECT_TRUE(Holds(vocab_, q, path, {C("A"), C("D")}));
+  EXPECT_FALSE(Holds(vocab_, q, path, {C("A"), C("B")}));
+  auto answers = EvaluateQuery(vocab_, q, path);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0], (std::vector<TermId>{C("A"), C("D")}));
+}
+
+TEST_F(HomTest, RepeatedAnswerVariable) {
+  FactSet facts = Facts("E(A,A), E(A,B)");
+  ConjunctiveQuery q = Query("q(x,x) :- E(x,x)");
+  EXPECT_TRUE(Holds(vocab_, q, facts, {C("A"), C("A")}));
+  EXPECT_FALSE(Holds(vocab_, q, facts, {C("A"), C("B")}));
+}
+
+TEST_F(HomTest, WrongArityAnswerIsRejected) {
+  FactSet facts = Facts("E(A,B)");
+  ConjunctiveQuery q = Query("q(x) :- E(x,y)");
+  EXPECT_FALSE(Holds(vocab_, q, facts, {C("A"), C("B")}));
+}
+
+TEST_F(HomTest, UnifyAtomWithFactBindsAndChecks) {
+  FactSet facts = Facts("E(A,B)");
+  ConjunctiveQuery q = Query("E(x,x)");
+  Substitution sub;
+  std::unordered_set<TermId> mappable = {vocab_.Variable("x")};
+  EXPECT_FALSE(
+      UnifyAtomWithFact(q.atoms[0], facts.atoms()[0], mappable, sub));
+  FactSet loop = Facts("E(D,D)");
+  Substitution sub2;
+  EXPECT_TRUE(
+      UnifyAtomWithFact(q.atoms[0], loop.atoms()[0], mappable, sub2));
+  EXPECT_EQ(Apply(sub2, vocab_.Variable("x")), C("D"));
+}
+
+TEST_F(HomTest, EnumerationVisitsAllMatches) {
+  FactSet facts = Facts("E(A,B), E(A,D), E(B,D)");
+  ConjunctiveQuery q = Query("q(x,y) :- E(x,y)");
+  auto answers = EvaluateQuery(vocab_, q, facts);
+  EXPECT_EQ(answers.size(), 3u);
+}
+
+// ----------------------------------------------------------- Containment --
+
+TEST_F(HomTest, ContainmentViaHomomorphism) {
+  // phi = E(x,y) contains psi = E(x,y),E(y,z): every structure satisfying
+  // psi satisfies phi.
+  ConjunctiveQuery phi = Query("q(x) :- E(x,y)");
+  ConjunctiveQuery psi = Query("q(x) :- E(x,y), E(y,z)");
+  EXPECT_TRUE(Contains(vocab_, phi, psi));
+  EXPECT_FALSE(Contains(vocab_, psi, phi));
+}
+
+TEST_F(HomTest, ContainmentFixesAnswerVariables) {
+  ConjunctiveQuery phi = Query("q(x) :- E(x,y)");
+  ConjunctiveQuery psi = Query("q(x) :- E(y,x)");
+  EXPECT_FALSE(Contains(vocab_, phi, psi));
+  EXPECT_FALSE(Contains(vocab_, psi, phi));
+}
+
+TEST_F(HomTest, EquivalenceOfRenamedQueries) {
+  ConjunctiveQuery a = Query("q(x) :- E(x,y), E(y,z)");
+  ConjunctiveQuery b = Query("q(u) :- E(u,v), E(v,w)");
+  EXPECT_TRUE(EquivalentQueries(vocab_, a, b));
+}
+
+// ----------------------------------------------------------- Minimization --
+
+TEST_F(HomTest, MinimizeFoldsRedundantAtoms) {
+  // E(x,y), E(x,z) folds to E(x,y) (z maps to y).
+  ConjunctiveQuery q = Query("q(x) :- E(x,y), E(x,z)");
+  ConjunctiveQuery m = MinimizeQuery(vocab_, q);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(EquivalentQueries(vocab_, q, m));
+}
+
+TEST_F(HomTest, MinimizeKeepsCoreIntact) {
+  ConjunctiveQuery q = Query("q(x) :- E(x,y), E(y,z)");
+  ConjunctiveQuery m = MinimizeQuery(vocab_, q);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST_F(HomTest, MinimizeRespectsAnswerVariables) {
+  // With both endpoints free, the path of length 2 via distinct middles
+  // cannot fold the two atoms into one.
+  ConjunctiveQuery q = Query("q(x,z) :- E(x,y), E(y,z), E(x,w), E(w,z)");
+  ConjunctiveQuery m = MinimizeQuery(vocab_, q);
+  EXPECT_EQ(m.size(), 2u) << "w folds onto y but the path remains";
+}
+
+TEST_F(HomTest, MinimizeDropsLiteralDuplicates) {
+  ConjunctiveQuery q = Query("E(x,y), E(x,y)");
+  EXPECT_EQ(MinimizeQuery(vocab_, q).size(), 1u);
+}
+
+TEST_F(HomTest, MinimizeTriangleVersusSquare) {
+  // The 4-cycle with free vertices folds onto an edge path when answer
+  // variables permit; the directed triangle is its own core.
+  ConjunctiveQuery triangle = Query("E(x,y), E(y,z), E(z,x)");
+  EXPECT_EQ(MinimizeQuery(vocab_, triangle).size(), 3u);
+  ConjunctiveQuery two_loop = Query("E(x,y), E(y,x), E(u,v), E(v,u)");
+  EXPECT_EQ(MinimizeQuery(vocab_, two_loop).size(), 2u);
+}
+
+// ------------------------------------------------------ Structure homs ----
+
+TEST_F(HomTest, StructureHomomorphismFolding) {
+  FactSet source = Facts("E(A,B), E(A,D)");
+  FactSet target = Facts("E(A,B)");
+  // B, D mappable; A fixed.
+  auto hom = StructureHomomorphism(vocab_, source, target, {C("A")});
+  ASSERT_TRUE(hom.has_value());
+  EXPECT_EQ(Apply(*hom, C("D")), C("B"));
+  // Fixing D makes it impossible.
+  EXPECT_FALSE(
+      StructureHomomorphism(vocab_, source, target, {C("A"), C("D")})
+          .has_value());
+}
+
+TEST_F(HomTest, HomomorphicImage) {
+  FactSet source = Facts("E(A,B), E(B,D)");
+  PredicateId e = vocab_.FindPredicate("E").value();
+  Substitution sub = {{C("D"), C("B")}, {C("B"), C("A")}};
+  FactSet image = HomomorphicImage(sub, source);
+  EXPECT_EQ(image.size(), 2u);
+  EXPECT_TRUE(image.Contains(Atom(e, {C("A"), C("A")})));
+  EXPECT_TRUE(image.Contains(Atom(e, {C("A"), C("B")})));
+}
+
+TEST_F(HomTest, CoreRetractOfFoldablePath) {
+  // E(A,B), E(A,D): D folds onto B; core has 1 atom.
+  FactSet facts = Facts("E(A,B), E(A,D)");
+  FactSet core = CoreRetract(vocab_, facts, {C("A")});
+  EXPECT_EQ(core.size(), 1u);
+}
+
+TEST_F(HomTest, CoreRetractKeepsFixedTerms) {
+  FactSet facts = Facts("E(A,B), E(A,D)");
+  FactSet core = CoreRetract(vocab_, facts, {C("A"), C("B"), C("D")});
+  EXPECT_EQ(core.size(), 2u) << "fixing both leaves nothing to fold";
+}
+
+TEST_F(HomTest, CoreRetractOfRigidStructure) {
+  FactSet path = Facts("E(A,B), E(B,D)");
+  FactSet core = CoreRetract(vocab_, path, {C("A")});
+  // Nothing folds: D cannot map anywhere (B has no outgoing edge image
+  // except D itself... folding D onto B would need E(B,B)).
+  EXPECT_EQ(core.size(), 2u);
+}
+
+// ----------------------------------------------------------- Model check --
+
+TEST_F(HomTest, ModelCheckTransitivity) {
+  Theory t = ParseT("E(x,y), E(y,z) -> E(x,z)");
+  EXPECT_FALSE(IsModelOf(vocab_, Facts("E(A,B), E(B,D)"), t));
+  EXPECT_TRUE(IsModelOf(vocab_, Facts("E(A,B), E(B,D), E(A,D)"), t));
+}
+
+TEST_F(HomTest, ModelCheckExistentialHead) {
+  Theory t = ParseT("Human(y) -> exists z . Mother(y,z)");
+  EXPECT_FALSE(IsModelOf(vocab_, Facts("Human(Abel)"), t));
+  EXPECT_TRUE(IsModelOf(vocab_, Facts("Human(Abel), Mother(Abel,Eve)"), t));
+}
+
+TEST_F(HomTest, ModelCheckDomainVariableRule) {
+  // forall x (true -> exists z R(x,z)): every domain element needs an
+  // R-successor.
+  Theory t = ParseT("true -> exists z . R(x,z)");
+  EXPECT_FALSE(IsModelOf(vocab_, Facts("R(A,B)"), t))
+      << "B lacks a successor";
+  EXPECT_TRUE(IsModelOf(vocab_, Facts("R(A,B), R(B,B)"), t));
+}
+
+TEST_F(HomTest, ModelCheckLoopRule) {
+  Theory t = ParseT("true -> exists x . R(x,x)");
+  EXPECT_FALSE(IsModelOf(vocab_, Facts("R(A,B)"), t));
+  EXPECT_TRUE(IsModelOf(vocab_, Facts("R(A,A)"), t));
+}
+
+TEST_F(HomTest, FindViolationReportsRule) {
+  Theory t = ParseT("E(x,y), E(y,z) -> E(x,z)");
+  auto violation = FindViolation(vocab_, Facts("E(A,B), E(B,D)"), t);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->rule_index, 0u);
+}
+
+TEST_F(HomTest, EmptySetIsModelOfBodyRules) {
+  Theory t = ParseT("E(x,y) -> exists z . E(y,z)");
+  EXPECT_TRUE(IsModelOf(vocab_, FactSet(), t));
+}
+
+}  // namespace
+}  // namespace frontiers

@@ -1,0 +1,205 @@
+// Tests for the Section 12 generalization of the rewriting process.
+
+#include <gtest/gtest.h>
+
+#include "base/vocabulary.h"
+#include "catalog/instances.h"
+#include "catalog/queries.h"
+#include "catalog/strategies.h"
+#include "catalog/theories.h"
+#include "chase/chase.h"
+#include "frontier/process.h"
+#include "frontier/tdk_process.h"
+#include "hom/query_ops.h"
+#include "rewriting/ucq.h"
+#include "tgd/parser.h"
+
+namespace frontiers {
+namespace {
+
+class TdKProcessTest : public ::testing::Test {
+ protected:
+  MarkedQuery Marked(Vocabulary& vocab, const std::string& text,
+                     const std::vector<std::string>& marked) {
+    MarkedQuery q;
+    Result<ConjunctiveQuery> parsed = ParseQuery(vocab, text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().message();
+    q.query = parsed.value();
+    for (const std::string& name : marked) {
+      q.marked.insert(vocab.Variable(name));
+    }
+    return q;
+  }
+};
+
+TEST_F(TdKProcessTest, ContextLevels) {
+  Vocabulary vocab;
+  TdKContext ctx = TdKContext::Make(vocab, 3);
+  EXPECT_EQ(ctx.K(), 3u);
+  EXPECT_EQ(ctx.LevelOf(ctx.level_pred[2]).value(), 2u);
+  PredicateId other = vocab.AddPredicate("Other", 2);
+  EXPECT_FALSE(ctx.LevelOf(other).has_value());
+}
+
+TEST_F(TdKProcessTest, AdjacencyConditionOnProperMarking) {
+  Vocabulary vocab;
+  TdKContext ctx = TdKContext::Make(vocab, 3);
+  // x receives I_1 and I_3 edges: no chase-invented term looks like that,
+  // so x must be marked (condition iv).
+  MarkedQuery bad =
+      Marked(vocab, "I1(a,x), I3(b,x)", {"a", "b"});
+  EXPECT_FALSE(IsProperlyMarkedK(vocab, ctx, bad));
+  MarkedQuery good =
+      Marked(vocab, "I1(a,x), I3(b,x)", {"a", "b", "x"});
+  EXPECT_TRUE(IsProperlyMarkedK(vocab, ctx, good));
+  // Adjacent levels are the grid-born shape and are fine unmarked.
+  MarkedQuery grid_born =
+      Marked(vocab, "I1(a,x), I2(b,x)", {"a", "b"});
+  EXPECT_TRUE(IsProperlyMarkedK(vocab, ctx, grid_born));
+}
+
+TEST_F(TdKProcessTest, StepDispatch) {
+  Vocabulary vocab;
+  TdKContext ctx = TdKContext::Make(vocab, 3);
+  // Single in-edge -> cut at that level.
+  TdKStep cut = StepLiveQueryK(
+      vocab, ctx, Marked(vocab, "I2(a,x), I2(b,a)", {"b", "a"}));
+  EXPECT_EQ(cut.kind, TdKStep::Kind::kCut);
+  EXPECT_EQ(cut.level, 2u);
+  // Two same-level in-edges -> fuse.
+  TdKStep fuse = StepLiveQueryK(
+      vocab, ctx,
+      Marked(vocab, "I3(a,x), I3(b,x), I1(c,a), I1(c,b)", {"a", "b", "c"}));
+  EXPECT_EQ(fuse.kind, TdKStep::Kind::kFuse);
+  EXPECT_EQ(fuse.level, 3u);
+  // Adjacent pair -> reduce at the lower level.
+  TdKStep reduce = StepLiveQueryK(
+      vocab, ctx,
+      Marked(vocab, "I3(r,x), I2(g,x), I2(a,r), I3(a,g)", {"r", "g", "a"}));
+  EXPECT_EQ(reduce.kind, TdKStep::Kind::kReduce);
+  EXPECT_EQ(reduce.level, 2u);
+  EXPECT_EQ(reduce.results.size(), 4u);
+}
+
+TEST_F(TdKProcessTest, EdgeRankMatchesTwoLevelRanks) {
+  // For K = 2 the level-2 edge rank is the Sections 10-11 erk.
+  Vocabulary vocab;
+  TdKContext ctx = TdKContext::Make(vocab, 2);
+  MarkedQuery q = Marked(vocab, "I2(a,b), I1(b,c)", {"a"});
+  std::optional<BigNat> erk = EdgeRankK(vocab, ctx, q, 2, q.query.atoms[1]);
+  ASSERT_TRUE(erk.has_value());
+  EXPECT_EQ(erk->ToString(), "9");  // climb the red edge, then pay 3^2
+}
+
+TEST_F(TdKProcessTest, K2ProcessMatchesTdProcess) {
+  for (uint32_t n = 1; n <= 2; ++n) {
+    // Run the 2-level process on phi_R^n over {R, G}.
+    Vocabulary vocab_td;
+    TdContext td_ctx = TdContext::Make(vocab_td);
+    TdProcessResult td = RunTdProcess(vocab_td, td_ctx, PhiRn(vocab_td, n));
+    ASSERT_TRUE(td.completed);
+
+    // Run the K-level process on the same query over {I_2, I_1}.
+    Vocabulary vocab_k;
+    TdKContext k_ctx = TdKContext::Make(vocab_k, 2);
+    TdKProcessOptions options;
+    options.check_rank_certificate = (n == 1);
+    TdKProcessResult tdk =
+        RunTdKProcess(vocab_k, k_ctx, PhiTopKn(vocab_k, 2, n), options);
+    ASSERT_TRUE(tdk.completed);
+    EXPECT_TRUE(tdk.rank_certificate_ok);
+
+    // Same number of disjuncts with matching sizes (multisets).
+    ASSERT_EQ(td.rewriting.size(), tdk.rewriting.size()) << "n=" << n;
+    std::multiset<size_t> td_sizes, tdk_sizes;
+    for (const auto& q : td.rewriting) td_sizes.insert(q.size());
+    for (const auto& q : tdk.rewriting) tdk_sizes.insert(q.size());
+    EXPECT_EQ(td_sizes, tdk_sizes) << "n=" << n;
+  }
+}
+
+TEST_F(TdKProcessTest, K3TopQueryFindsLevelTwoPath) {
+  // The rewriting of PhiTopKn(3, n) must contain the I_2-path of length
+  // 2^n (the level-2 incarnation of Theorem 5 B).
+  Vocabulary vocab;
+  TdKContext ctx = TdKContext::Make(vocab, 3);
+  ConjunctiveQuery phi = PhiTopKn(vocab, 3, 1);
+  TdKProcessResult result = RunTdKProcess(vocab, ctx, phi);
+  ASSERT_TRUE(result.completed);
+  ConjunctiveQuery target = PathQuery(vocab, "I2", 2);
+  bool found = false;
+  for (const ConjunctiveQuery& d : result.rewriting) {
+    if (EquivalentQueries(vocab, d, target)) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TdKProcessTest, K3ProcessAgreesWithChase) {
+  // Cross-validate the generalized process against the chase for the
+  // level-2 top query on small I_2-path instances.
+  Vocabulary vocab;
+  TdKContext ctx = TdKContext::Make(vocab, 3);
+  ConjunctiveQuery phi = PhiTopKn(vocab, 3, 1);
+  TdKProcessResult process = RunTdKProcess(vocab, ctx, phi);
+  ASSERT_TRUE(process.completed);
+
+  Theory tdk = TdKTheory(vocab, 3);
+  for (uint32_t length = 1; length <= 3; ++length) {
+    FactSet path = EdgePath(vocab, "I2", length, "b");
+    ChaseEngine engine(vocab, tdk);
+    ChaseOptions options;
+    options.max_rounds = 10;
+    options.max_atoms = 300000;
+    options.filter = TdKWitnessStrategy(vocab, tdk, 3, path);
+    ChaseResult chase = engine.Run(path, options);
+    std::vector<TermId> answer = {PathConstant(vocab, "b", 0),
+                                  PathConstant(vocab, "b", length)};
+    bool via_chase = Holds(vocab, phi, chase.facts, answer);
+    bool via_process = false;
+    for (const ConjunctiveQuery& d : process.rewriting) {
+      if (Holds(vocab, d, path, answer)) via_process = true;
+    }
+    EXPECT_EQ(via_chase, via_process) << "length " << length;
+  }
+}
+
+TEST_F(TdKProcessTest, ComposedQueryYieldsDeepDisjunct) {
+  // The composed K=3 witness query's rewriting must contain a disjunct
+  // matched by the pure I_1-path instance of length 4 anchored at its
+  // end - the doubly exponential disjunct of Theorem 6 B (n = 1).
+  Vocabulary vocab;
+  TdKContext ctx = TdKContext::Make(vocab, 3);
+  ConjunctiveQuery psi = TdKComposedQuery(vocab, 1);
+  TdKProcessOptions options;
+  options.max_steps = 2'000'000;
+  options.max_queries = 4'000'000;
+  TdKProcessResult result = RunTdKProcess(vocab, ctx, psi, options);
+  ASSERT_TRUE(result.completed);
+  // Evaluate the rewriting UCQ on the I_1-path of length 4 (anchor at
+  // the end): it must hold there, and must not hold on the 3-path.
+  Ucq ucq;
+  ucq.disjuncts = result.rewriting;
+  FactSet path4 = EdgePath(vocab, "I1", 4, "t");
+  FactSet path3 = EdgePath(vocab, "I1", 3, "s");
+  EXPECT_TRUE(
+      Holds(vocab, ucq, path4, {PathConstant(vocab, "t", 4)}));
+  EXPECT_FALSE(
+      Holds(vocab, ucq, path3, {PathConstant(vocab, "s", 3)}));
+}
+
+TEST_F(TdKProcessTest, RankComparatorIsLexicographicByLevel) {
+  Vocabulary vocab;
+  TdKContext ctx = TdKContext::Make(vocab, 3);
+  MarkedQuery top_heavy = Marked(vocab, "I3(a,b), I2(b,c)", {"a"});
+  MarkedQuery bottom_heavy =
+      Marked(vocab, "I2(a,b), I1(b,c), I1(c,d)", {"a"});
+  TdKQueryRank rt = ComputeQueryRankK(vocab, ctx, top_heavy);
+  TdKQueryRank rb = ComputeQueryRankK(vocab, ctx, bottom_heavy);
+  // top_heavy has an I_3 atom; bottom_heavy has none: level K dominates.
+  EXPECT_GT(CompareQueryRankK(rt, rb), 0);
+  EXPECT_LT(CompareQueryRankK(rb, rt), 0);
+  EXPECT_EQ(CompareQueryRankK(rt, rt), 0);
+}
+
+}  // namespace
+}  // namespace frontiers
