@@ -53,6 +53,15 @@ enum class TermKind : uint8_t {
 ///     prescribes.
 ///
 /// TermIds and PredicateIds are dense indices, suitable for use in vectors.
+///
+/// **Concurrency contract.**  A Vocabulary is *not* internally
+/// synchronized.  Concurrent const access (lookups, `Kind`, `SkolemArgs`,
+/// rendering) is safe; any mutating call (`AddPredicate`, `Constant`,
+/// `SkolemTerm`, ...) requires exclusive access.  The chase engine's
+/// parallel match phase honours this by keeping workers read-only and
+/// deferring all Skolem interning to its single-threaded commit phase,
+/// which also keeps TermId assignment deterministic (see DESIGN.md,
+/// "Parallel round pipeline").
 class Vocabulary {
  public:
   Vocabulary() = default;

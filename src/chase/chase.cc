@@ -1,12 +1,96 @@
 #include "chase/chase.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
 #include <unordered_set>
 
 #include "hom/matcher.h"
 #include "hom/structure_ops.h"
 
 namespace frontiers {
+
+namespace {
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "frontiers: fatal: %s\n", message.c_str());
+  std::abort();
+}
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(d).count();
+}
+
+}  // namespace
+
+uint64_t ChaseStats::TotalMatches() const {
+  uint64_t total = 0;
+  for (const ChaseRoundStats& r : rounds) total += r.matches;
+  return total;
+}
+
+uint64_t ChaseStats::TotalStaged() const {
+  uint64_t total = 0;
+  for (const ChaseRoundStats& r : rounds) total += r.staged;
+  return total;
+}
+
+uint64_t ChaseStats::TotalCommitted() const {
+  uint64_t total = 0;
+  for (const ChaseRoundStats& r : rounds) total += r.committed;
+  return total;
+}
+
+uint64_t ChaseStats::TotalPreempted() const {
+  uint64_t total = 0;
+  for (const ChaseRoundStats& r : rounds) total += r.preempted;
+  return total;
+}
+
+uint64_t ChaseStats::TotalDeduped() const {
+  uint64_t total = 0;
+  for (const ChaseRoundStats& r : rounds) total += r.deduped;
+  return total;
+}
+
+double ChaseStats::MatchSeconds() const {
+  double total = 0;
+  for (const ChaseRoundStats& r : rounds) total += r.match_seconds;
+  return total;
+}
+
+double ChaseStats::CommitSeconds() const {
+  double total = 0;
+  for (const ChaseRoundStats& r : rounds) total += r.commit_seconds;
+  return total;
+}
+
+std::string ChaseStats::ToString() const {
+  std::string out =
+      "round    matches     staged    deduped  committed  preempted   "
+      "inserted  match_s   commit_s\n";
+  char line[192];
+  for (size_t i = 0; i < rounds.size(); ++i) {
+    const ChaseRoundStats& r = rounds[i];
+    std::snprintf(line, sizeof(line),
+                  "%5zu %10llu %10llu %10llu %10llu %10llu %10llu %8.4f "
+                  "%10.4f\n",
+                  i, static_cast<unsigned long long>(r.matches),
+                  static_cast<unsigned long long>(r.staged),
+                  static_cast<unsigned long long>(r.deduped),
+                  static_cast<unsigned long long>(r.committed),
+                  static_cast<unsigned long long>(r.preempted),
+                  static_cast<unsigned long long>(r.atoms_inserted),
+                  r.match_seconds, r.commit_seconds);
+    out += line;
+  }
+  return out;
+}
 
 FactSet ChaseResult::PrefixAtDepth(uint32_t i) const {
   FactSet out;
@@ -24,9 +108,30 @@ std::optional<uint32_t> ChaseResult::DepthOf(const Atom& atom) const {
 
 ChaseEngine::ChaseEngine(Vocabulary& vocab, const Theory& theory)
     : vocab_(vocab), theory_(theory) {
-  skolemized_.reserve(theory_.rules.size());
-  for (const Tgd& rule : theory_.rules) {
+  const size_t n = theory_.rules.size();
+  skolemized_.reserve(n);
+  existential_positions_.reserve(n);
+  head_existentials_.reserve(n);
+  needs_naive_.assign(n, false);
+  for (size_t r = 0; r < n; ++r) {
+    const Tgd& rule = theory_.rules[r];
     skolemized_.push_back(Skolemize(vocab_, rule));
+    std::unordered_set<TermId> ex(rule.existential_vars.begin(),
+                                  rule.existential_vars.end());
+    std::vector<std::vector<bool>> per_atom;
+    per_atom.reserve(rule.head.size());
+    for (const Atom& head_atom : rule.head) {
+      std::vector<bool> positions(head_atom.args.size(), false);
+      for (size_t i = 0; i < head_atom.args.size(); ++i) {
+        positions[i] = ex.count(head_atom.args[i]) > 0;
+      }
+      per_atom.push_back(std::move(positions));
+    }
+    existential_positions_.push_back(std::move(per_atom));
+    head_existentials_.push_back(std::move(ex));
+    if (!rule.body.empty() && !rule.domain_vars.empty()) {
+      needs_naive_[r] = true;
+    }
   }
 }
 
@@ -67,23 +172,68 @@ std::vector<Atom> ChaseEngine::ApplyRule(size_t rule_index,
 
 namespace {
 
-// A staged rule application produced while scanning one round.
+// A staged rule application produced while scanning one round.  The head is
+// *not* yet instantiated: `ApplyRule` interns Skolem terms in the shared
+// Vocabulary, so it is deferred to the single-threaded commit phase (see
+// DESIGN.md, "Parallel round pipeline").
 struct StagedApplication {
   size_t rule_index;
-  std::vector<Atom> atoms;
+  Substitution sigma;
   std::vector<uint32_t> parents;
-  // Which argument positions of which staged atoms hold freshly-invented
-  // terms (existential positions); used for birth-atom bookkeeping.
-  std::vector<std::vector<bool>> existential_position;
   // Restricted variant only: the head's universal-variable binding, for
   // the commit-time satisfaction recheck.
   Substitution head_initial;
+  // Identity of the application under semi-oblivious naming: the rule plus
+  // sigma's head-universal projection (equal keys produce identical head
+  // atoms).  Built in the parallel phase; the commit phase keeps only the
+  // first application per key.  Empty when dedup is off.
+  std::string frontier_key;
+};
+
+// Encodes (rule, head-universal projection of sigma) as raw bytes.
+std::string FrontierKey(size_t rule_index, const Tgd& rule,
+                        const Substitution& sigma) {
+  std::string key;
+  key.reserve(sizeof(rule_index) +
+              sizeof(TermId) * rule.head_universal_vars.size());
+  key.append(reinterpret_cast<const char*>(&rule_index), sizeof(rule_index));
+  for (TermId v : rule.head_universal_vars) {
+    TermId value = Apply(sigma, v);
+    key.append(reinterpret_cast<const char*>(&value), sizeof(value));
+  }
+  return key;
+}
+
+// One unit of match-enumeration work.  Units are planned in the sequential
+// engine's staging order; concatenating their buffers in unit order
+// therefore reproduces that order exactly, for any worker count.
+struct MatchUnit {
+  enum Kind : uint8_t {
+    kDomain,  // body-free rule: enumerate domain-variable assignments
+    kNaive,   // full body re-enumeration against the current stage
+    kDelta,   // semi-naive: seed body atom `seed_pos` with delta atoms
+  };
+  size_t rule_index = 0;
+  Kind kind = kNaive;
+  bool use_delta = false;  // kDomain: only stage tuples touching new terms
+  size_t seed_pos = 0;     // kDelta: which body atom is seeded
+  size_t delta_begin = 0;  // kDelta: range into the round's delta atoms
+  size_t delta_end = 0;
+};
+
+// Output of one MatchUnit, written by exactly one worker.
+struct UnitBuffer {
+  std::vector<StagedApplication> staged;
+  uint64_t matches = 0;
 };
 
 }  // namespace
 
 ChaseResult ChaseEngine::Run(const FactSet& db,
                              const ChaseOptions& options) const {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point run_start = Clock::now();
+
   ChaseResult result;
   result.facts = db;
   result.depth.assign(db.size(), 0);
@@ -96,31 +246,9 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
     result.all_derivations.assign(db.size(), {});
   }
 
-  // Per-rule: positions of existential variables in each head atom.
-  std::vector<std::vector<std::vector<bool>>> existential_positions;
-  existential_positions.reserve(theory_.rules.size());
-  for (const Tgd& rule : theory_.rules) {
-    std::unordered_set<TermId> ex(rule.existential_vars.begin(),
-                                  rule.existential_vars.end());
-    std::vector<std::vector<bool>> per_atom;
-    for (const Atom& head_atom : rule.head) {
-      std::vector<bool> positions(head_atom.args.size(), false);
-      for (size_t i = 0; i < head_atom.args.size(); ++i) {
-        positions[i] = ex.count(head_atom.args[i]) > 0;
-      }
-      per_atom.push_back(std::move(positions));
-    }
-    existential_positions.push_back(std::move(per_atom));
-  }
-
-  // Rules that cannot be driven purely by atom deltas: nonempty body plus
-  // domain variables.  They are re-enumerated naively every round.
-  std::vector<bool> needs_naive(theory_.rules.size(), false);
-  for (size_t r = 0; r < theory_.rules.size(); ++r) {
-    const Tgd& rule = theory_.rules[r];
-    if (!rule.body.empty() && !rule.domain_vars.empty()) {
-      needs_naive[r] = true;
-    }
+  uint32_t num_threads = options.threads;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
 
   // Delta of the previous round: atom indices and first-seen terms.
@@ -128,44 +256,41 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
   for (uint32_t i = 0; i < db.size(); ++i) delta_atoms[i] = i;
   std::vector<TermId> delta_terms = db.Domain();
 
+  auto finish = [&](ChaseStop stop, uint32_t complete_rounds) {
+    result.stop = stop;
+    result.complete_rounds = complete_rounds;
+    result.stats.total_seconds = Seconds(Clock::now() - run_start);
+    return result;
+  };
+
+  // Applications already committed (or preempted) in this run, keyed by
+  // (rule, head-universal projection).  Equal keys produce identical
+  // skolemized heads, and the stage only grows, so re-running one is
+  // always a no-op: within a round it is the semi-oblivious "fires once
+  // per frontier assignment" collapse, across rounds it spares the
+  // naively re-enumerated rules (pins under a filter, the semi_naive=false
+  // ablation) their re-commit cost.  Disabled under
+  // record_all_derivations, which wants every distinct derivation.
+  std::unordered_set<std::string> seen_applications;
+
   uint32_t round = 0;
   bool atom_budget_hit = false;
   while (round < options.max_rounds && !atom_budget_hit) {
-    std::vector<StagedApplication> staged;
+    const Clock::time_point match_start = Clock::now();
+    ChaseRoundStats round_stats;
     Matcher matcher(vocab_, result.facts);
+    const std::unordered_set<TermId> new_terms(delta_terms.begin(),
+                                               delta_terms.end());
 
-    auto stage_match = [&](size_t rule_index, const Substitution& sigma) {
-      if (options.filter && !options.filter(rule_index, sigma, result.facts)) {
-        return;
-      }
-      StagedApplication app;
-      if (options.variant == ChaseVariant::kRestricted) {
-        // Fire only when the head is not already witnessed in the stage;
-        // re-checked at commit time so applications earlier in the same
-        // round can preempt later ones (the sequential-chase behaviour).
-        const Tgd& rule = theory_.rules[rule_index];
-        std::unordered_set<TermId> head_existentials(
-            rule.existential_vars.begin(), rule.existential_vars.end());
-        for (TermId v : rule.head_universal_vars) {
-          app.head_initial.emplace(v, Apply(sigma, v));
-        }
-        if (matcher.Exists(rule.head, head_existentials, app.head_initial)) {
-          return;
-        }
-      }
-      app.rule_index = rule_index;
-      app.atoms = ApplyRule(rule_index, sigma);
-      app.existential_position = existential_positions[rule_index];
-      if (provenance) {
-        for (const Atom& body_atom : theory_.rules[rule_index].body) {
-          Atom instantiated = Apply(sigma, body_atom);
-          std::optional<uint32_t> idx = result.facts.IndexOf(instantiated);
-          if (idx.has_value()) app.parents.push_back(*idx);
-        }
-      }
-      staged.push_back(std::move(app));
-    };
-
+    // ---- Plan the round's match units -----------------------------------
+    // Chunking delta seeds bounds the serial tail; the chunk size affects
+    // only unit *boundaries*, never the concatenated staging order.
+    std::vector<MatchUnit> units;
+    const size_t delta_chunk =
+        num_threads > 1
+            ? std::max<size_t>(1, (delta_atoms.size() + num_threads * 4 - 1) /
+                                      (num_threads * 4))
+            : std::max<size_t>(1, delta_atoms.size());
     for (size_t r = 0; r < theory_.rules.size(); ++r) {
       const Tgd& rule = theory_.rules[r];
       // Stage-dependent filters can start accepting an application that
@@ -178,73 +303,204 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
       const bool filter_forces_naive =
           options.filter && rule.body.empty() && !rule.domain_vars.empty();
       const bool use_delta = options.semi_naive && round > 0 &&
-                             !needs_naive[r] && !filter_forces_naive;
+                             !needs_naive_[r] && !filter_forces_naive;
 
+      MatchUnit unit;
+      unit.rule_index = r;
       if (rule.body.empty()) {
         if (rule.domain_vars.empty()) {
           // Fires identically in every round; once is enough.
-          if (round == 0) stage_match(r, Substitution{});
-          continue;
+          if (round > 0) continue;
         }
-        // Pins-style rule: enumerate domain-variable assignments.  Under
-        // delta evaluation only tuples touching a new term are fresh.
-        const std::vector<TermId>& full_domain = result.facts.Domain();
-        const std::unordered_set<TermId> new_terms(delta_terms.begin(),
-                                                   delta_terms.end());
-        std::function<void(Substitution&, size_t, bool)> enumerate =
-            [&](Substitution& sub, size_t i, bool used_new) {
-              if (i == rule.domain_vars.size()) {
-                if (!use_delta || used_new) stage_match(r, sub);
-                return;
-              }
-              for (TermId t : full_domain) {
-                sub[rule.domain_vars[i]] = t;
-                enumerate(sub, i + 1,
-                          used_new || (use_delta && new_terms.count(t) > 0));
-              }
-              sub.erase(rule.domain_vars[i]);
-            };
-        Substitution sub;
-        enumerate(sub, 0, false);
+        unit.kind = MatchUnit::kDomain;
+        unit.use_delta = use_delta;
+        units.push_back(unit);
         continue;
       }
-
-      std::unordered_set<TermId> mappable(rule.body_vars.begin(),
-                                          rule.body_vars.end());
       if (!use_delta) {
-        ForEachBodyMatch(vocab_, rule, result.facts,
-                         [&](const Substitution& sigma) {
-                           stage_match(r, sigma);
-                           return true;
-                         });
+        unit.kind = MatchUnit::kNaive;
+        units.push_back(unit);
         continue;
       }
       // Semi-naive: seed each body atom with each delta atom in turn, then
       // complete the match against the full current stage.  Matches seen
       // through several seeds stage duplicate applications, which collapse
       // at insertion.
+      unit.kind = MatchUnit::kDelta;
       for (size_t j = 0; j < rule.body.size(); ++j) {
-        std::vector<Atom> rest;
-        rest.reserve(rule.body.size() - 1);
-        for (size_t k = 0; k < rule.body.size(); ++k) {
-          if (k != j) rest.push_back(rule.body[k]);
-        }
-        for (uint32_t d : delta_atoms) {
-          const Atom& fact = result.facts.atoms()[d];
-          if (fact.predicate != rule.body[j].predicate) continue;
-          Substitution seed;
-          if (!UnifyAtomWithFact(rule.body[j], fact, mappable, seed)) {
-            continue;
-          }
-          matcher.ForEach(rest, mappable, seed,
-                          [&](const Substitution& sigma) {
-                            stage_match(r, sigma);
-                            return true;
-                          });
+        unit.seed_pos = j;
+        for (size_t begin = 0; begin < delta_atoms.size();
+             begin += delta_chunk) {
+          unit.delta_begin = begin;
+          unit.delta_end = std::min(begin + delta_chunk, delta_atoms.size());
+          units.push_back(unit);
         }
       }
     }
 
+    // ---- Enumerate matches (the parallel phase) -------------------------
+    // Workers only read: the stage, the vocabulary, the delta, and the
+    // shared Matcher are all frozen until commit.  Each unit writes to its
+    // own buffer, so no synchronization beyond the unit counter is needed.
+    auto run_unit = [&](const MatchUnit& unit, UnitBuffer& out) {
+      const Tgd& rule = theory_.rules[unit.rule_index];
+      auto stage_match = [&](const Substitution& sigma) {
+        ++out.matches;
+        if (options.filter &&
+            !options.filter(unit.rule_index, sigma, result.facts)) {
+          return;
+        }
+        StagedApplication app;
+        if (options.variant == ChaseVariant::kRestricted) {
+          // Fire only when the head is not already witnessed in the stage;
+          // re-checked at commit time so applications earlier in the same
+          // round can preempt later ones (the sequential-chase behaviour).
+          for (TermId v : rule.head_universal_vars) {
+            app.head_initial.emplace(v, Apply(sigma, v));
+          }
+          if (matcher.Exists(rule.head, head_existentials_[unit.rule_index],
+                             app.head_initial)) {
+            return;
+          }
+        }
+        app.rule_index = unit.rule_index;
+        if (provenance) {
+          app.parents.reserve(rule.body.size());
+          for (const Atom& body_atom : rule.body) {
+            Atom instantiated = Apply(sigma, body_atom);
+            std::optional<uint32_t> idx = result.facts.IndexOf(instantiated);
+            if (!idx.has_value()) {
+              // A body match maps every body atom to a stage fact by
+              // construction; a miss would silently truncate
+              // Derivation::parents and corrupt ancestor reconstruction
+              // (Section 13), so it is a fatal engine bug.
+              Die("chase: instantiated body atom of rule '" + rule.name +
+                  "' not found in the stage while recording provenance");
+            }
+            app.parents.push_back(*idx);
+          }
+        }
+        if (!options.record_all_derivations) {
+          app.frontier_key =
+              FrontierKey(unit.rule_index, rule, sigma);
+        }
+        app.sigma = sigma;
+        out.staged.push_back(std::move(app));
+      };
+
+      switch (unit.kind) {
+        case MatchUnit::kDomain: {
+          // Pins-style rule: enumerate domain-variable assignments.  Under
+          // delta evaluation only tuples touching a new term are fresh.
+          const std::vector<TermId>& full_domain = result.facts.Domain();
+          std::function<void(Substitution&, size_t, bool)> enumerate =
+              [&](Substitution& sub, size_t i, bool used_new) {
+                if (i == rule.domain_vars.size()) {
+                  if (!unit.use_delta || used_new) stage_match(sub);
+                  return;
+                }
+                for (TermId t : full_domain) {
+                  sub[rule.domain_vars[i]] = t;
+                  enumerate(sub, i + 1,
+                            used_new ||
+                                (unit.use_delta && new_terms.count(t) > 0));
+                }
+                sub.erase(rule.domain_vars[i]);
+              };
+          Substitution sub;
+          enumerate(sub, 0, false);
+          break;
+        }
+        case MatchUnit::kNaive: {
+          ForEachBodyMatch(vocab_, rule, result.facts,
+                           [&](const Substitution& sigma) {
+                             stage_match(sigma);
+                             return true;
+                           });
+          break;
+        }
+        case MatchUnit::kDelta: {
+          const std::unordered_set<TermId> mappable(rule.body_vars.begin(),
+                                                    rule.body_vars.end());
+          std::vector<Atom> rest;
+          rest.reserve(rule.body.size() - 1);
+          for (size_t k = 0; k < rule.body.size(); ++k) {
+            if (k != unit.seed_pos) rest.push_back(rule.body[k]);
+          }
+          for (size_t di = unit.delta_begin; di < unit.delta_end; ++di) {
+            const Atom& fact = result.facts.atoms()[delta_atoms[di]];
+            if (fact.predicate != rule.body[unit.seed_pos].predicate) {
+              continue;
+            }
+            Substitution seed;
+            if (!UnifyAtomWithFact(rule.body[unit.seed_pos], fact, mappable,
+                                   seed)) {
+              continue;
+            }
+            matcher.ForEach(rest, mappable, seed,
+                            [&](const Substitution& sigma) {
+                              stage_match(sigma);
+                              return true;
+                            });
+          }
+          break;
+        }
+      }
+    };
+
+    std::vector<UnitBuffer> buffers(units.size());
+    const size_t workers = std::min<size_t>(num_threads, units.size());
+    if (workers > 1) {
+      std::atomic<size_t> next_unit{0};
+      std::atomic<bool> failed{false};
+      std::exception_ptr first_error;
+      std::mutex error_mutex;
+      auto work = [&]() {
+        for (;;) {
+          const size_t i = next_unit.fetch_add(1, std::memory_order_relaxed);
+          if (i >= units.size() || failed.load(std::memory_order_relaxed)) {
+            return;
+          }
+          try {
+            run_unit(units[i], buffers[i]);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(workers - 1);
+      for (size_t w = 0; w + 1 < workers; ++w) pool.emplace_back(work);
+      work();  // the calling thread is the last worker
+      for (std::thread& t : pool) t.join();
+      if (first_error) std::rethrow_exception(first_error);
+    } else {
+      for (size_t i = 0; i < units.size(); ++i) run_unit(units[i], buffers[i]);
+    }
+
+    // Merge per-unit buffers in unit order: this is exactly the order the
+    // one-thread engine stages in, so everything downstream (commit order,
+    // atom indices, depths, provenance) is thread-count independent.
+    std::vector<StagedApplication> staged;
+    size_t total_staged = 0;
+    for (const UnitBuffer& buffer : buffers) {
+      total_staged += buffer.staged.size();
+      round_stats.matches += buffer.matches;
+    }
+    staged.reserve(total_staged);
+    for (UnitBuffer& buffer : buffers) {
+      for (StagedApplication& app : buffer.staged) {
+        staged.push_back(std::move(app));
+      }
+    }
+    round_stats.staged = staged.size();
+    round_stats.match_seconds = Seconds(Clock::now() - match_start);
+
+    // ---- Commit the round (sequential) ----------------------------------
+    const Clock::time_point commit_start = Clock::now();
     if (options.variant == ChaseVariant::kRestricted) {
       // Commit non-inventing (Datalog) applications first: a Datalog atom
       // may witness an existential head and preempt a fresh term - the
@@ -257,27 +513,49 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
                             });
     }
 
-    // Commit the round: insert staged atoms in order.
     std::vector<uint32_t> new_delta_atoms;
     std::vector<TermId> new_delta_terms;
     std::unordered_set<TermId> known_terms(result.facts.Domain().begin(),
                                            result.facts.Domain().end());
+    // One matcher for every commit-time recheck: FactSet keeps its indexes
+    // incrementally up to date on Insert and the matcher reads them live,
+    // so applications committed earlier this round are visible — without
+    // the old per-application matcher rebuild.
+    Matcher commit_matcher(vocab_, result.facts);
     for (const StagedApplication& app : staged) {
+      if (!options.record_all_derivations &&
+          !seen_applications.insert(app.frontier_key).second) {
+        ++round_stats.deduped;
+        continue;
+      }
       if (options.variant == ChaseVariant::kRestricted) {
-        const Tgd& rule = theory_.rules[app.rule_index];
-        std::unordered_set<TermId> head_existentials(
-            rule.existential_vars.begin(), rule.existential_vars.end());
-        Matcher commit_matcher(vocab_, result.facts);
-        if (commit_matcher.Exists(rule.head, head_existentials,
+        if (commit_matcher.Exists(theory_.rules[app.rule_index].head,
+                                  head_existentials_[app.rule_index],
                                   app.head_initial)) {
-          continue;  // an earlier application this round satisfied it
+          // An earlier application this round satisfied the head.
+          ++round_stats.preempted;
+          continue;
         }
       }
-      for (size_t a = 0; a < app.atoms.size(); ++a) {
-        const Atom& atom = app.atoms[a];
+      ++round_stats.committed;
+      // Skolem interning happens here, on the calling thread, in merged
+      // (deterministic) order.
+      const std::vector<Atom> atoms = ApplyRule(app.rule_index, app.sigma);
+      const std::vector<std::vector<bool>>& ex_positions =
+          existential_positions_[app.rule_index];
+      for (size_t a = 0; a < atoms.size(); ++a) {
+        const Atom& atom = atoms[a];
+        // Enforce the atom budget per inserted atom, not per application:
+        // the result never exceeds max_atoms, even mid-head.
+        if (result.facts.size() >= options.max_atoms &&
+            !result.facts.Contains(atom)) {
+          atom_budget_hit = true;
+          break;
+        }
         bool inserted = result.facts.Insert(atom);
         uint32_t idx = *result.facts.IndexOf(atom);
         if (inserted) {
+          ++round_stats.atoms_inserted;
           result.depth.push_back(round + 1);
           new_delta_atoms.push_back(idx);
           if (provenance) {
@@ -293,7 +571,7 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
             if (known_terms.insert(t).second) {
               new_delta_terms.push_back(t);
             }
-            if (app.existential_position[a][pos] &&
+            if (ex_positions[a][pos] &&
                 result.birth_atom.find(t) == result.birth_atom.end()) {
               result.birth_atom.emplace(t, idx);
             }
@@ -312,30 +590,23 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
           if (!duplicate) list.push_back(std::move(d));
         }
       }
-      if (result.facts.size() > options.max_atoms) {
-        atom_budget_hit = true;
-        break;
-      }
+      if (atom_budget_hit) break;
     }
+    round_stats.commit_seconds = Seconds(Clock::now() - commit_start);
+    result.stats.rounds.push_back(round_stats);
 
     if (atom_budget_hit) {
       // The last round is partial: complete_rounds stays at `round`.
-      result.stop = ChaseStop::kAtomBudget;
-      result.complete_rounds = round;
-      return result;
+      return finish(ChaseStop::kAtomBudget, round);
     }
     if (new_delta_atoms.empty()) {
-      result.stop = ChaseStop::kFixpoint;
-      result.complete_rounds = round;
-      return result;
+      return finish(ChaseStop::kFixpoint, round);
     }
     delta_atoms = std::move(new_delta_atoms);
     delta_terms = std::move(new_delta_terms);
     ++round;
   }
-  result.stop = ChaseStop::kRoundBudget;
-  result.complete_rounds = round;
-  return result;
+  return finish(ChaseStop::kRoundBudget, round);
 }
 
 ChaseResult ChaseEngine::RunToDepth(const FactSet& db, uint32_t rounds) const {

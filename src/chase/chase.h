@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "base/fact_set.h"
@@ -23,7 +25,10 @@ enum class ChaseStop {
 
 /// One recorded derivation of an atom: which rule fired and which atoms
 /// (indices into the chase's fact store) the body was matched to.  This is
-/// the *parent function* `par_T` of Section 13.
+/// the *parent function* `par_T` of Section 13.  `parents` always has
+/// exactly one entry per body atom of the rule (a staged match whose body
+/// atom cannot be resolved to a fact index is a fatal engine bug, not a
+/// droppable entry — ancestor reconstruction relies on completeness).
 struct Derivation {
   size_t rule_index = 0;
   std::vector<uint32_t> parents;
@@ -43,17 +48,74 @@ enum class ChaseVariant {
   kRestricted,
 };
 
+/// Per-round counters and phase timings collected by every chase run.
+///
+/// A round has two phases: *match* (enumerate body matches, stage
+/// applications — the parallelizable part) and *commit* (apply staged
+/// rules in deterministic order, intern Skolem terms, insert atoms).
+struct ChaseRoundStats {
+  /// Body/domain matches offered to staging (before the filter and before
+  /// the restricted variant's stage-time satisfaction check).
+  uint64_t matches = 0;
+  /// Applications staged after the filter and stage-time checks.
+  uint64_t staged = 0;
+  /// Staged applications that reached the insert loop (for the restricted
+  /// variant: survived the commit-time recheck).
+  uint64_t committed = 0;
+  /// Restricted variant only: staged applications skipped at commit time
+  /// because an earlier application this round already satisfied the head.
+  uint64_t preempted = 0;
+  /// Staged applications dropped because an earlier application this round
+  /// had the same rule and head-universal projection — the semi-oblivious
+  /// "fires once per frontier assignment" collapse (skipped while
+  /// record_all_derivations is on, which needs every derivation).
+  uint64_t deduped = 0;
+  /// New atoms inserted this round.
+  uint64_t atoms_inserted = 0;
+  /// Wall time of the match-enumeration phase.
+  double match_seconds = 0.0;
+  /// Wall time of the merge + commit phase.
+  double commit_seconds = 0.0;
+};
+
+/// Aggregated statistics of a chase run (one entry per started round).
+struct ChaseStats {
+  std::vector<ChaseRoundStats> rounds;
+  /// Wall time of the whole run.
+  double total_seconds = 0.0;
+
+  uint64_t TotalMatches() const;
+  uint64_t TotalStaged() const;
+  uint64_t TotalCommitted() const;
+  uint64_t TotalPreempted() const;
+  uint64_t TotalDeduped() const;
+  double MatchSeconds() const;
+  double CommitSeconds() const;
+
+  /// One row per round: `round matches staged committed preempted ...`.
+  std::string ToString() const;
+};
+
 /// Options controlling a chase run.
 struct ChaseOptions {
   /// Chase flavour; experiments default to the paper's semi-oblivious one.
   ChaseVariant variant = ChaseVariant::kSemiOblivious;
   /// Maximum number of complete rounds (the `i` of `Ch_i`).
   uint32_t max_rounds = 64;
-  /// Safety budget on the total number of atoms.
+  /// Safety budget on the total number of atoms.  Enforced per inserted
+  /// atom: the result never holds more than `max_atoms` atoms.
   size_t max_atoms = 2'000'000;
   /// Use semi-naive (delta-driven) evaluation.  Disabling re-enumerates all
   /// matches each round; exists as an ablation (see DESIGN.md).
   bool semi_naive = true;
+  /// Worker threads for the match-enumeration phase of each round.
+  /// 1 (default) runs fully sequentially on the calling thread; 0 asks for
+  /// one worker per hardware thread.  Results are byte-identical across
+  /// thread counts: workers only *enumerate* matches into per-task buffers
+  /// which are merged in a fixed order, and all vocabulary mutation
+  /// (Skolem interning) happens on the calling thread during commit (see
+  /// DESIGN.md §"Parallel round pipeline").
+  uint32_t threads = 1;
   /// Record the first derivation of every produced atom.
   bool track_provenance = false;
   /// Record *every* derivation of every produced atom (implies
@@ -68,6 +130,11 @@ struct ChaseOptions {
   /// contribute to a target query; see catalog/strategies.h).  The
   /// resulting structure is a subset of the true chase, so query
   /// satisfaction remains sound.
+  ///
+  /// With `threads > 1` the filter is invoked concurrently from worker
+  /// threads (the stage is frozen during the match phase); it must be
+  /// safe to call in parallel — i.e. a pure function of its arguments, as
+  /// all catalog strategies are.
   std::function<bool(size_t rule_index, const Substitution& sigma,
                      const FactSet& stage)>
       filter;
@@ -94,6 +161,8 @@ struct ChaseResult {
   /// Birth atom (Observation 10) of each chase-created term: the index of
   /// the unique atom in which the term first occurs outside the frontier.
   std::unordered_map<TermId, uint32_t> birth_atom;
+  /// Per-round counters and timings.
+  ChaseStats stats;
 
   /// True iff the chase reached a fixpoint, i.e. the (semi-oblivious) chase
   /// of this instance terminates: Ch(T,D) = Ch_{complete_rounds}(T,D).
@@ -113,9 +182,14 @@ struct ChaseResult {
 /// match of the *current* stage, adding the skolemized heads (Definitions
 /// 4-5).  Skolem terms are hash-consed in the shared `Vocabulary`, so runs
 /// over sub-instances produce literally comparable atoms (Observation 8).
+///
+/// With `ChaseOptions::threads > 1` the match-enumeration phase of each
+/// round fans out over a worker pool; the result (atom order, depths,
+/// provenance, stop reason) is byte-identical to the sequential engine.
 class ChaseEngine {
  public:
-  /// Prepares the engine: interns Skolem functions for every rule head.
+  /// Prepares the engine: interns Skolem functions for every rule head and
+  /// precomputes per-rule match metadata.
   ChaseEngine(Vocabulary& vocab, const Theory& theory);
 
   /// Runs the chase from `db` under `options`.
@@ -137,6 +211,15 @@ class ChaseEngine {
   Vocabulary& vocab_;
   Theory theory_;
   std::vector<SkolemizedHead> skolemized_;
+  // Per-rule, per-head-atom: which argument positions hold existential
+  // variables (freshly-invented terms after skolemization).
+  std::vector<std::vector<std::vector<bool>>> existential_positions_;
+  // Per-rule: the existential head variables as a set, for the restricted
+  // variant's head-satisfaction checks (hoisted out of the per-match path).
+  std::vector<std::unordered_set<TermId>> head_existentials_;
+  // Rules that cannot be driven purely by atom deltas: nonempty body plus
+  // domain variables.  They are re-enumerated naively every round.
+  std::vector<bool> needs_naive_;
 };
 
 }  // namespace frontiers

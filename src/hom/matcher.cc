@@ -12,18 +12,27 @@ bool UnifyAtomWithFact(const Atom& pattern, const Atom& fact,
       pattern.args.size() != fact.args.size()) {
     return false;
   }
+  // Bindings added by this call, so a mid-atom mismatch can undo them:
+  // callers reuse `sub` across unification attempts, and a failed attempt
+  // must leave it exactly as it was.
+  std::vector<TermId> bound_here;
+  auto fail = [&]() {
+    for (TermId t : bound_here) sub.erase(t);
+    return false;
+  };
   for (size_t i = 0; i < pattern.args.size(); ++i) {
     TermId p = pattern.args[i];
     TermId f = fact.args[i];
     auto bound = sub.find(p);
     if (bound != sub.end()) {
-      if (bound->second != f) return false;
+      if (bound->second != f) return fail();
       continue;
     }
     if (mappable.count(p) > 0) {
       sub.emplace(p, f);
+      bound_here.push_back(p);
     } else if (p != f) {
-      return false;
+      return fail();
     }
   }
   return true;

@@ -29,6 +29,11 @@ namespace frontiers {
 /// The search picks, at every step, the pattern atom with the fewest
 /// candidate target atoms (using the per-(predicate,position,term) index
 /// for selectivity), which is the classic fail-first heuristic.
+///
+/// A Matcher holds no mutable state (each enumeration builds its own search
+/// state), so one instance may be shared by concurrent readers as long as
+/// nobody mutates the underlying fact set or vocabulary meanwhile — the
+/// contract the chase's parallel match phase relies on.
 class Matcher {
  public:
   /// Creates a matcher over `target`.  Both references must outlive the
@@ -66,9 +71,10 @@ class Matcher {
 };
 
 /// Attempts to extend `sub` so that `pattern` (whose `mappable` terms may be
-/// bound) becomes exactly `fact`.  Returns false and leaves `sub`
-/// unspecified on failure.  Exposed because the chase's semi-naive loop
-/// seeds matches by unifying one body atom with a delta fact.
+/// bound) becomes exactly `fact`.  On failure returns false and rolls back
+/// every binding it added, leaving `sub` exactly as passed in — callers
+/// (the chase's semi-naive loop, which seeds matches by unifying one body
+/// atom with a delta fact) reuse one substitution across attempts.
 bool UnifyAtomWithFact(const Atom& pattern, const Atom& fact,
                        const std::unordered_set<TermId>& mappable,
                        Substitution& sub);

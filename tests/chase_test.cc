@@ -85,7 +85,90 @@ TEST_F(ChaseTest, AtomBudgetStopsEarly) {
   options.max_atoms = 5;
   ChaseResult result = engine.Run(Facts("E(A,B)"), options);
   EXPECT_EQ(result.stop, ChaseStop::kAtomBudget);
-  EXPECT_LE(result.facts.size(), 7u);
+  EXPECT_LE(result.facts.size(), options.max_atoms);
+}
+
+TEST_F(ChaseTest, AtomBudgetIsEnforcedPerAtomNotPerApplication) {
+  // Three-atom heads: the old per-application check let the result
+  // overshoot the budget by up to the head size.
+  Theory wide = ParseT("P(x) -> exists u . Q(x,u), R(x,u), S(x,u)");
+  ChaseEngine engine(vocab_, wide);
+  ChaseOptions options;
+  options.max_rounds = 10;
+  options.max_atoms = 4;
+  ChaseResult result =
+      engine.Run(Facts("P(A), P(B), P(D)"), options);
+  EXPECT_EQ(result.stop, ChaseStop::kAtomBudget);
+  EXPECT_LE(result.facts.size(), options.max_atoms);
+  EXPECT_EQ(result.facts.size(), 4u) << "budget headroom should be used";
+}
+
+TEST_F(ChaseTest, AtomBudgetExactFitReportsFixpoint) {
+  // A chase that terminates at exactly max_atoms atoms is a fixpoint, not
+  // a budget stop: duplicates and never-attempted inserts must not trip
+  // the budget check.
+  Theory sym = ParseT("E(x,y) -> E(y,x)");
+  ChaseEngine engine(vocab_, sym);
+  ChaseOptions options;
+  options.max_rounds = 10;
+  options.max_atoms = 2;
+  ChaseResult result = engine.Run(Facts("E(A,B)"), options);
+  EXPECT_TRUE(result.Terminated());
+  EXPECT_EQ(result.facts.size(), 2u);
+}
+
+TEST_F(ChaseTest, MultiThreadedRunMatchesSequential) {
+  Theory mixed = ParseT(R"(
+    E(x,y), E(y,z) -> E(x,z)
+    E(x,y) -> exists w . F(y,w)
+    F(x,y) -> E(x,y)
+    true -> exists z . R(x,z)
+  )");
+  ChaseEngine engine(vocab_, mixed);
+  FactSet db = Facts("E(A,B), E(B,D), E(D,G)");
+  ChaseOptions seq;
+  seq.max_rounds = 4;
+  ChaseOptions par = seq;
+  par.threads = 4;
+  ChaseResult r_seq = engine.Run(db, seq);
+  ChaseResult r_par = engine.Run(db, par);
+  // Byte-identical: same atoms in the same order, same depths.
+  EXPECT_EQ(r_seq.facts.atoms(), r_par.facts.atoms());
+  EXPECT_EQ(r_seq.depth, r_par.depth);
+  EXPECT_EQ(r_seq.stop, r_par.stop);
+}
+
+TEST_F(ChaseTest, StatsCountRoundsAndPhases) {
+  Theory t_p = ParseT("E(x,y) -> exists z . E(y,z)");
+  ChaseEngine engine(vocab_, t_p);
+  ChaseResult result = engine.RunToDepth(Facts("E(A,B)"), 3);
+  ASSERT_EQ(result.stats.rounds.size(), 3u);
+  // One new edge, hence one match/staging/commit, per round.
+  for (const ChaseRoundStats& r : result.stats.rounds) {
+    EXPECT_EQ(r.matches, 1u);
+    EXPECT_EQ(r.staged, 1u);
+    EXPECT_EQ(r.committed, 1u);
+    EXPECT_EQ(r.atoms_inserted, 1u);
+    EXPECT_EQ(r.preempted, 0u);
+  }
+  EXPECT_EQ(result.stats.TotalMatches(), 3u);
+  EXPECT_GE(result.stats.total_seconds, 0.0);
+}
+
+TEST_F(ChaseTest, RestrictedStatsCountPreemptions) {
+  // Two symmetric seeds stage two successor applications; the Datalog
+  // symmetry atoms commit first and preempt both of them.
+  Theory t = ParseT(R"(
+    E(x,y) -> exists z . E(y,z)
+    E(x,y) -> E(y,x)
+  )");
+  ChaseEngine engine(vocab_, t);
+  ChaseOptions options;
+  options.max_rounds = 6;
+  options.variant = ChaseVariant::kRestricted;
+  ChaseResult result = engine.Run(Facts("E(A,B)"), options);
+  EXPECT_TRUE(result.Terminated());
+  EXPECT_GE(result.stats.TotalPreempted(), 1u);
 }
 
 TEST_F(ChaseTest, SemiNaiveMatchesNaive) {

@@ -79,6 +79,45 @@ TEST_F(ExplainTest, DepthCutOff) {
   EXPECT_NE(explanation.find("..."), std::string::npos);
 }
 
+TEST_F(ExplainTest, DerivationParentsAreNeverTruncated) {
+  // Regression: a missed IndexOf while recording provenance used to drop
+  // the parent silently, leaving Derivation::parents shorter than the rule
+  // body and silently under-reporting ancestors (Section 13).  A miss is
+  // now a fatal engine error, so every recorded derivation must carry
+  // exactly one parent per body atom — including rules whose body atoms
+  // unify with each other and multi-round derivations.
+  ChaseResult chase = Chase(R"(
+    trans: E(x,y), E(y,z) -> E(x,z)
+    pair: E(x,y), E(y,x) -> exists v . M(x,v)
+  )",
+                            "E(A,B), E(B,C), E(C,A), E(C,D)", 4);
+  ASSERT_EQ(chase.first_derivation.size(), chase.facts.size());
+  size_t derived = 0;
+  for (size_t i = 0; i < chase.facts.size(); ++i) {
+    if (!chase.first_derivation[i].has_value()) continue;
+    ++derived;
+    const Derivation& d = *chase.first_derivation[i];
+    EXPECT_EQ(d.parents.size(), theory_.rules[d.rule_index].body.size())
+        << "derivation of atom " << i << " lost parents";
+    for (uint32_t parent : d.parents) {
+      EXPECT_LT(parent, i) << "parents must precede the derived atom";
+    }
+  }
+  EXPECT_GT(derived, 0u);
+}
+
+TEST_F(ExplainTest, AncestorTreeReachesEveryBodyAtom) {
+  // The full parent lists make the derivation tree of E(A,D) bottom out in
+  // *both* input edges, not just the first resolvable one.
+  ChaseResult chase = Chase("trans: E(x,y), E(y,z) -> E(x,z)",
+                            "E(A,B), E(B,C), E(C,D)", 4);
+  std::string explanation =
+      ExplainAtom(vocab_, theory_, chase, GroundAtom("E(A,D)"));
+  EXPECT_NE(explanation.find("E(A,B)"), std::string::npos);
+  EXPECT_NE(explanation.find("E(B,C)"), std::string::npos);
+  EXPECT_NE(explanation.find("E(C,D)"), std::string::npos);
+}
+
 TEST_F(ExplainTest, OutOfRangeIndex) {
   ChaseResult chase = Chase("E(x,y) -> E(y,x)", "E(A,B)", 1);
   EXPECT_NE(ExplainAtom(vocab_, theory_, chase, 999)

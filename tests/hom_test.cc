@@ -33,6 +33,41 @@ class HomTest : public ::testing::Test {
 
 // --------------------------------------------------------------- Matcher --
 
+TEST_F(HomTest, UnifyAtomWithFactRollsBackPartialBindingsOnFailure) {
+  // Regression: a mid-atom mismatch used to leave the bindings made before
+  // the mismatch in `sub`, so reusing one substitution across a failing
+  // then a succeeding unification poisoned the second attempt.
+  PredicateId e = vocab_.AddPredicate("E", 2);
+  TermId x = vocab_.Variable("x");
+  TermId y = vocab_.Variable("y");
+  std::unordered_set<TermId> mappable = {x, y};
+  // Pattern E(x, x): unifying with E(A, B) binds x=A, then fails on B.
+  Atom pattern(e, {x, x});
+  Substitution sub;
+  EXPECT_FALSE(UnifyAtomWithFact(pattern, Atom(e, {C("A"), C("B")}), mappable,
+                                 sub));
+  EXPECT_TRUE(sub.empty()) << "failed unification must not leave bindings";
+  // The same substitution must now accept E(B, B) with x=B.
+  EXPECT_TRUE(UnifyAtomWithFact(pattern, Atom(e, {C("B"), C("B")}), mappable,
+                                sub));
+  ASSERT_EQ(sub.size(), 1u);
+  EXPECT_EQ(sub.at(x), C("B"));
+}
+
+TEST_F(HomTest, UnifyAtomWithFactKeepsPreexistingBindingsOnFailure) {
+  PredicateId e = vocab_.AddPredicate("E", 2);
+  TermId x = vocab_.Variable("x");
+  TermId y = vocab_.Variable("y");
+  std::unordered_set<TermId> mappable = {x, y};
+  Substitution sub = {{x, C("A")}};
+  // E(y, x) against E(B, D): binds y=B, then x=A != D fails; the rollback
+  // must remove y's binding but keep the caller's x binding.
+  EXPECT_FALSE(UnifyAtomWithFact(Atom(e, {y, x}), Atom(e, {C("B"), C("D")}),
+                                 mappable, sub));
+  ASSERT_EQ(sub.size(), 1u);
+  EXPECT_EQ(sub.at(x), C("A"));
+}
+
 TEST_F(HomTest, BooleanQueryOverPath) {
   FactSet path = Facts("E(A,B), E(B,D)");
   EXPECT_TRUE(HoldsBoolean(vocab_, Query("E(x,y), E(y,z)"), path));

@@ -1,0 +1,177 @@
+// Parity suite for the parallel chase engine: on every catalog
+// theory/instance pair, the chase must produce
+//
+//  * byte-identical results (atom order, depths, birth atoms, provenance,
+//    stop reason) across worker-thread counts, for both evaluation modes
+//    and both variants — the determinism guarantee of the parallel round
+//    pipeline (DESIGN.md), and
+//  * stage-identical results (same fact *sets*, same per-atom depths)
+//    across naive vs semi-naive evaluation — both compute the same Ch_i;
+//    their insertion order inside a round is not part of the contract.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/fact_set.h"
+#include "base/vocabulary.h"
+#include "catalog/instances.h"
+#include "catalog/theories.h"
+#include "chase/chase.h"
+
+namespace frontiers {
+namespace {
+
+struct ParityCase {
+  std::string name;
+  Theory (*theory)(Vocabulary&);
+  FactSet (*instance)(Vocabulary&);
+  uint32_t max_rounds;
+};
+
+FactSet MotherInstance(Vocabulary& vocab) {
+  FactSet db;
+  db.Insert(Atom(vocab.AddPredicate("Human", 1), {vocab.Constant("Abel")}));
+  return db;
+}
+
+FactSet EPath6(Vocabulary& vocab) { return EdgePath(vocab, "E", 6, "a"); }
+
+FactSet ECycle4(Vocabulary& vocab) { return EdgeCycle(vocab, "E", 4, "a"); }
+
+FactSet GPath4(Vocabulary& vocab) { return EdgePath(vocab, "G", 4, "a"); }
+
+FactSet I1Path4(Vocabulary& vocab) {
+  return EdgePath(vocab, TdKPredicateName(1), 4, "a");
+}
+
+FactSet Star3(Vocabulary& vocab) { return Star39Instance(vocab, 3); }
+
+FactSet Paints3(Vocabulary& vocab) { return Example66Instance(vocab, 3); }
+
+Theory TdK3(Vocabulary& vocab) { return TdKTheory(vocab, 3); }
+
+std::vector<ParityCase> Catalog() {
+  return {
+      {"mother", MotherTheory, MotherInstance, 4},
+      {"forward-path", ForwardPathTheory, EPath6, 4},
+      {"exercise23", Exercise23Theory, EPath6, 3},
+      {"tc-cycle", TcTheory, ECycle4, 3},
+      {"sticky39", StickyExample39Theory, Star3, 3},
+      {"example66", Example66Theory, Paints3, 3},
+      {"td-grid", TdTheory, GPath4, 3},
+      {"tdk3-tower", TdK3, I1Path4, 3},
+  };
+}
+
+// Byte-identical comparison of two runs over the same vocabulary.
+void ExpectIdentical(const ChaseResult& a, const ChaseResult& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.facts.atoms(), b.facts.atoms()) << label << ": atom order";
+  EXPECT_EQ(a.depth, b.depth) << label << ": depths";
+  EXPECT_EQ(a.stop, b.stop) << label << ": stop reason";
+  EXPECT_EQ(a.complete_rounds, b.complete_rounds) << label << ": rounds";
+  EXPECT_EQ(a.birth_atom, b.birth_atom) << label << ": birth atoms";
+  ASSERT_EQ(a.first_derivation.size(), b.first_derivation.size()) << label;
+  for (size_t i = 0; i < a.first_derivation.size(); ++i) {
+    ASSERT_EQ(a.first_derivation[i].has_value(),
+              b.first_derivation[i].has_value())
+        << label << ": derivation presence of atom " << i;
+    if (!a.first_derivation[i].has_value()) continue;
+    EXPECT_EQ(a.first_derivation[i]->rule_index,
+              b.first_derivation[i]->rule_index)
+        << label << ": rule of atom " << i;
+    EXPECT_EQ(a.first_derivation[i]->parents, b.first_derivation[i]->parents)
+        << label << ": parents of atom " << i;
+  }
+}
+
+// Same chase stages, order-insensitive (the naive/semi-naive contract).
+void ExpectSameStages(const ChaseResult& a, const ChaseResult& b,
+                      const std::string& label) {
+  EXPECT_TRUE(a.facts.SetEquals(b.facts)) << label << ": fact sets differ";
+  EXPECT_EQ(a.stop, b.stop) << label << ": stop reason";
+  EXPECT_EQ(a.complete_rounds, b.complete_rounds) << label << ": rounds";
+  for (const Atom& atom : a.facts.atoms()) {
+    EXPECT_EQ(a.DepthOf(atom), b.DepthOf(atom)) << label << ": atom depth";
+  }
+}
+
+ChaseOptions Options(const ParityCase& pc, bool semi_naive, uint32_t threads,
+                     ChaseVariant variant) {
+  ChaseOptions options;
+  options.max_rounds = pc.max_rounds;
+  options.max_atoms = 20'000;
+  options.semi_naive = semi_naive;
+  options.threads = threads;
+  options.variant = variant;
+  options.track_provenance = true;
+  return options;
+}
+
+TEST(ParityTest, ThreadCountsAreByteIdentical) {
+  for (const ParityCase& pc : Catalog()) {
+    for (ChaseVariant variant :
+         {ChaseVariant::kSemiOblivious, ChaseVariant::kRestricted}) {
+      for (bool semi_naive : {true, false}) {
+        Vocabulary vocab;
+        Theory theory = pc.theory(vocab);
+        FactSet db = pc.instance(vocab);
+        ChaseEngine engine(vocab, theory);
+        ChaseResult one =
+            engine.Run(db, Options(pc, semi_naive, 1, variant));
+        for (uint32_t threads : {2u, 4u, 8u}) {
+          ChaseResult many =
+              engine.Run(db, Options(pc, semi_naive, threads, variant));
+          ExpectIdentical(
+              one, many,
+              pc.name + (semi_naive ? "/semi-naive" : "/naive") +
+                  (variant == ChaseVariant::kRestricted ? "/restricted"
+                                                        : "/oblivious") +
+                  "/threads=" + std::to_string(threads));
+        }
+      }
+    }
+  }
+}
+
+TEST(ParityTest, NaiveAndSemiNaiveComputeTheSameStages) {
+  for (const ParityCase& pc : Catalog()) {
+    for (uint32_t threads : {1u, 4u}) {
+      Vocabulary vocab;
+      Theory theory = pc.theory(vocab);
+      FactSet db = pc.instance(vocab);
+      ChaseEngine engine(vocab, theory);
+      ChaseResult naive = engine.Run(
+          db, Options(pc, false, threads, ChaseVariant::kSemiOblivious));
+      ChaseResult delta = engine.Run(
+          db, Options(pc, true, threads, ChaseVariant::kSemiOblivious));
+      ExpectSameStages(naive, delta,
+                       pc.name + "/threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ParityTest, RestrictedVariantIsDeterministicUnderMergedCommitOrder) {
+  // The restricted variant's commit-time preemption depends on commit
+  // order; the merged order must make repeated multi-threaded runs (and
+  // the sequential run) agree byte-for-byte.
+  for (const ParityCase& pc : Catalog()) {
+    Vocabulary vocab;
+    Theory theory = pc.theory(vocab);
+    FactSet db = pc.instance(vocab);
+    ChaseEngine engine(vocab, theory);
+    ChaseResult first =
+        engine.Run(db, Options(pc, true, 4, ChaseVariant::kRestricted));
+    ChaseResult second =
+        engine.Run(db, Options(pc, true, 4, ChaseVariant::kRestricted));
+    ChaseResult sequential =
+        engine.Run(db, Options(pc, true, 1, ChaseVariant::kRestricted));
+    ExpectIdentical(first, second, pc.name + "/repeat");
+    ExpectIdentical(first, sequential, pc.name + "/vs-sequential");
+  }
+}
+
+}  // namespace
+}  // namespace frontiers
