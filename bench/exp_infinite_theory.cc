@@ -18,7 +18,8 @@
 namespace frontiers {
 namespace {
 
-void Run() {
+int Run() {
+  bench::BudgetGuard guard;
   const uint32_t kLevels = 6;
   bench::Section("E12: Example 28 truncated to " + std::to_string(kLevels) +
                  " levels");
@@ -36,6 +37,7 @@ void Run() {
     if (!db.ok() || !query.ok()) continue;
     ChaseOptions options;
     options.max_rounds = kLevels + 2;
+    options = guard.Apply(options);
     std::optional<uint32_t> depth = SatisfactionDepth(
         vocab, engine, db.value(), query.value(), {}, options);
     CoreTerminationReport core =
@@ -51,12 +53,10 @@ void Run() {
       "level up - with infinitely many levels no uniform c exists even\n"
       "though every *instance* core-terminates (each instance only sees\n"
       "finitely many relations).  The conjecture needs finite theories.\n");
+  return guard.Finish();
 }
 
 }  // namespace
 }  // namespace frontiers
 
-int main() {
-  frontiers::Run();
-  return 0;
-}
+int main() { return frontiers::Run(); }

@@ -26,7 +26,8 @@
 namespace frontiers {
 namespace {
 
-bool PhiHoldsOnPath(uint32_t n, uint32_t length) {
+bool PhiHoldsOnPath(uint32_t n, uint32_t length, bench::BudgetGuard& guard,
+                    std::string* marker) {
   Vocabulary vocab;
   Theory td = TdTheory(vocab);
   ChaseEngine engine(vocab, td);
@@ -35,30 +36,38 @@ bool PhiHoldsOnPath(uint32_t n, uint32_t length) {
   options.max_rounds = 3 * (1u << n) + 8;
   options.max_atoms = 2'000'000;
   options.filter = TdWitnessStrategy(vocab, td);
-  ChaseResult chase = engine.Run(path, options);
+  ChaseResult chase = engine.Run(path, guard.Apply(options));
+  const std::string note = guard.Note(chase);
+  if (marker != nullptr && !note.empty() &&
+      marker->find(note) == std::string::npos) {
+    *marker += note;
+  }
   ConjunctiveQuery phi = PhiRn(vocab, n);
   return Holds(vocab, phi, chase.facts,
                {PathConstant(vocab, "a", 0),
                 PathConstant(vocab, "a", length)});
 }
 
-void Run() {
+int Run() {
+  bench::BudgetGuard guard;
   bench::Section("E2a: minimal green path satisfying phi_R^n (chase sweep)");
   bench::Table sweep({"n", "|phi_R^n|", "lengths where phi holds",
                       "minimal L", "expected 2^n"});
   for (uint32_t n = 1; n <= 4; ++n) {
     const uint32_t expected = 1u << n;
     std::string holds_at;
+    std::string marker;
     uint32_t minimal = 0;
     for (uint32_t length = 1; length <= expected + 2; ++length) {
-      if (PhiHoldsOnPath(n, length)) {
+      if (PhiHoldsOnPath(n, length, guard, &marker)) {
         if (!holds_at.empty()) holds_at += ",";
         holds_at += std::to_string(length);
         if (minimal == 0) minimal = length;
       }
     }
-    sweep.AddRow({std::to_string(n), std::to_string(2 * n + 1), holds_at,
-                  std::to_string(minimal), std::to_string(expected)});
+    sweep.AddRow({std::to_string(n), std::to_string(2 * n + 1),
+                  holds_at + marker, std::to_string(minimal),
+                  std::to_string(expected)});
   }
   sweep.Print();
 
@@ -91,12 +100,10 @@ void Run() {
   std::printf(
       "Shape check: max disjunct size grows as 2^n while |phi_R^n| grows\n"
       "linearly - no linear-size rewriting exists for T_d (contrast E10).\n");
+  return guard.Finish();
 }
 
 }  // namespace
 }  // namespace frontiers
 
-int main() {
-  frontiers::Run();
-  return 0;
-}
+int main() { return frontiers::Run(); }

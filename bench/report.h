@@ -2,8 +2,11 @@
 #define FRONTIERS_BENCH_REPORT_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
+
+#include "chase/chase.h"
 
 namespace frontiers::bench {
 
@@ -57,6 +60,70 @@ inline void Section(const std::string& title) {
 }
 
 inline std::string YesNo(bool b) { return b ? "yes" : "no"; }
+
+/// True if `stop` means a resource budget ended the run, rather than the
+/// experiment's own fixpoint/round logic.
+inline bool BudgetTripped(ChaseStop stop) {
+  return stop == ChaseStop::kDeadline || stop == ChaseStop::kByteBudget ||
+         stop == ChaseStop::kCancelled || stop == ChaseStop::kAtomBudget;
+}
+
+/// Budget harness for the experiment binaries: applies a wall-clock and
+/// byte budget (overridable via FRONTIERS_BENCH_DEADLINE_S and
+/// FRONTIERS_BENCH_MAX_MB; 0 disables either) to every chase an experiment
+/// runs, so a blown-up configuration degrades into a partial-but-valid
+/// table instead of hanging CI or getting OOM-killed.  Budget-tripped rows
+/// carry a `[budget: <reason>]` marker, a footer summarizes, and `Finish()`
+/// always returns exit code 0: a partial table is a report, not a failure.
+class BudgetGuard {
+ public:
+  BudgetGuard()
+      : deadline_seconds_(EnvDouble("FRONTIERS_BENCH_DEADLINE_S", 120.0)),
+        max_bytes_(static_cast<size_t>(
+            EnvDouble("FRONTIERS_BENCH_MAX_MB", 2048.0) * 1024.0 * 1024.0)) {}
+
+  /// Installs the guard's budgets on top of the experiment's own options.
+  ChaseOptions Apply(ChaseOptions options) const {
+    if (deadline_seconds_ > 0) options.deadline_seconds = deadline_seconds_;
+    if (max_bytes_ > 0) options.max_bytes = max_bytes_;
+    return options;
+  }
+
+  /// Records whether `result` tripped a budget; returns a row marker like
+  /// " [budget: deadline]" (empty when the run completed normally).
+  std::string Note(const ChaseResult& result) {
+    if (!BudgetTripped(result.stop)) return "";
+    tripped_ = true;
+    return std::string(" [budget: ") + ChaseStopName(result.stop) + "]";
+  }
+
+  bool tripped() const { return tripped_; }
+
+  /// Prints the footer if anything tripped.  Always returns 0.
+  int Finish() const {
+    if (tripped_) {
+      std::printf(
+          "[budget] at least one run hit a resource budget "
+          "(FRONTIERS_BENCH_DEADLINE_S=%gs, FRONTIERS_BENCH_MAX_MB=%zu); "
+          "marked rows report a valid partial chase.\n",
+          deadline_seconds_, max_bytes_ / (1024 * 1024));
+    }
+    return 0;
+  }
+
+ private:
+  static double EnvDouble(const char* name, double fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || *value == '\0') return fallback;
+    char* end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    return end == value ? fallback : parsed;
+  }
+
+  double deadline_seconds_;
+  size_t max_bytes_;
+  bool tripped_ = false;
+};
 
 }  // namespace frontiers::bench
 

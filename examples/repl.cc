@@ -49,12 +49,8 @@ void CmdChase(Session* session, uint32_t rounds) {
   options.max_rounds = rounds;
   options.max_atoms = 200000;
   ChaseResult result = engine.Run(session->facts, options);
-  const char* stop = result.stop == ChaseStop::kFixpoint ? "fixpoint"
-                     : result.stop == ChaseStop::kRoundBudget
-                         ? "round budget"
-                         : "atom budget";
   std::printf("Ch_%u has %zu atoms (%s):\n", result.complete_rounds,
-              result.facts.size(), stop);
+              result.facts.size(), ChaseStopName(result.stop));
   for (size_t i = 0; i < result.facts.size() && i < 60; ++i) {
     std::printf("  depth %u: %s\n", result.depth[i],
                 AtomToString(session->vocab, result.facts.atoms()[i]).c_str());

@@ -1,0 +1,50 @@
+#ifndef FRONTIERS_BASE_CHECK_H_
+#define FRONTIERS_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace frontiers::internal {
+
+/// Terminates the process after printing file/line, the failed condition and
+/// a caller-supplied context message.  Invariant failures are programming
+/// errors, not input errors, so this aborts (producing a core / sanitizer
+/// report) rather than throwing; genuinely fallible operations return a
+/// `Status` instead (see base/status.h).
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const std::string& message) {
+  std::fprintf(stderr, "frontiers: fatal: %s:%d: CHECK(%s) failed: %s\n", file,
+               line, condition, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Terminates the process after printing file/line and a context message.
+[[noreturn]] inline void FatalError(const char* file, int line,
+                                    const std::string& message) {
+  std::fprintf(stderr, "frontiers: fatal: %s:%d: %s\n", file, line,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace frontiers::internal
+
+/// Checks an engine invariant; on failure prints file/line, the condition
+/// text and `msg`, then aborts.  `msg` may be any expression convertible to
+/// std::string and is only evaluated on failure.
+#define FRONTIERS_CHECK(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::frontiers::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                       \
+  } while (false)
+
+/// Unconditional fatal error with file/line context (for unreachable code
+/// paths and exhausted lookups whose callers cannot recover).
+#define FRONTIERS_FATAL(msg) \
+  ::frontiers::internal::FatalError(__FILE__, __LINE__, (msg))
+
+#endif  // FRONTIERS_BASE_CHECK_H_

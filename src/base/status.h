@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "base/check.h"
+
 namespace frontiers {
 
 /// Lightweight error-reporting type used across public API boundaries.
@@ -50,8 +52,14 @@ class Result {
   /// Constructs a successful result holding `value`.
   Result(T value) : value_(std::move(value)), status_(Status::Ok()) {}
 
-  /// Constructs a failed result from a non-OK status.
-  Result(Status status) : status_(std::move(status)) {}
+  /// Constructs a failed result from a non-OK status.  Constructing from an
+  /// OK status is rejected: it would yield `ok() == true` with no stored
+  /// value, making every later `value()` access undefined behaviour.
+  Result(Status status) : status_(std::move(status)) {
+    FRONTIERS_CHECK(!status_.ok(),
+                    "Result constructed from an OK status carries no value; "
+                    "construct from a value instead");
+  }
 
   /// True if a value is present.
   bool ok() const { return status_.ok(); }
@@ -63,6 +71,15 @@ class Result {
   const T& value() const& { return *value_; }
   T& value() & { return *value_; }
   T&& value() && { return std::move(*value_); }
+
+  /// The stored value, or `fallback` when this result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+  T value_or(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
+  /// The status message: empty when ok, the error text otherwise.
+  const std::string& message() const { return status_.message(); }
 
  private:
   std::optional<T> value_;

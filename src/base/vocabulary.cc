@@ -1,7 +1,8 @@
 #include "base/vocabulary.h"
 
-#include <cstdio>
-#include <cstdlib>
+#include <algorithm>
+
+#include "base/check.h"
 
 namespace frontiers {
 
@@ -20,21 +21,16 @@ std::string SkolemKey(SkolemFnId fn, const std::vector<TermId>& args) {
   return key;
 }
 
-[[noreturn]] void Die(const std::string& message) {
-  std::fprintf(stderr, "frontiers: fatal: %s\n", message.c_str());
-  std::abort();
-}
-
 }  // namespace
 
 PredicateId Vocabulary::AddPredicate(std::string_view name, uint32_t arity) {
   auto it = predicate_index_.find(std::string(name));
   if (it != predicate_index_.end()) {
-    if (predicates_[it->second].arity != arity) {
-      Die("predicate '" + std::string(name) + "' redeclared with arity " +
-          std::to_string(arity) + " (was " +
-          std::to_string(predicates_[it->second].arity) + ")");
-    }
+    FRONTIERS_CHECK(predicates_[it->second].arity == arity,
+                    "predicate '" + std::string(name) +
+                        "' redeclared with arity " + std::to_string(arity) +
+                        " (was " +
+                        std::to_string(predicates_[it->second].arity) + ")");
     return it->second;
   }
   PredicateId id = static_cast<PredicateId>(predicates_.size());
@@ -95,10 +91,11 @@ TermId Vocabulary::FreshVariable(std::string_view prefix) {
 }
 
 TermId Vocabulary::SkolemTerm(SkolemFnId fn, const std::vector<TermId>& args) {
-  if (skolem_fns_[fn].arity != args.size()) {
-    Die("Skolem term arity mismatch for function " +
-        skolem_fns_[fn].signature);
-  }
+  FRONTIERS_CHECK(
+      skolem_fns_[fn].arity == args.size(),
+      "Skolem term arity mismatch for function " + skolem_fns_[fn].signature +
+          ": got " + std::to_string(args.size()) + " arguments, expected " +
+          std::to_string(skolem_fns_[fn].arity));
   std::string key = SkolemKey(fn, args);
   auto it = skolem_term_index_.find(key);
   if (it != skolem_term_index_.end()) return it->second;
@@ -119,10 +116,11 @@ SkolemFnId Vocabulary::SkolemFunction(std::string_view signature,
                                       uint32_t arity) {
   auto it = skolem_fn_index_.find(std::string(signature));
   if (it != skolem_fn_index_.end()) {
-    if (skolem_fns_[it->second].arity != arity) {
-      Die("Skolem function '" + std::string(signature) +
-          "' redeclared with a different arity");
-    }
+    FRONTIERS_CHECK(skolem_fns_[it->second].arity == arity,
+                    "Skolem function '" + std::string(signature) +
+                        "' redeclared with arity " + std::to_string(arity) +
+                        " (was " +
+                        std::to_string(skolem_fns_[it->second].arity) + ")");
     return it->second;
   }
   SkolemFnId id = static_cast<SkolemFnId>(skolem_fns_.size());

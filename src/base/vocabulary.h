@@ -140,6 +140,11 @@ class Vocabulary {
   /// Arity of a Skolem function symbol.
   uint32_t SkolemFnArity(SkolemFnId f) const { return skolem_fns_[f].arity; }
 
+  /// Number of interned Skolem function symbols.
+  uint32_t NumSkolemFns() const {
+    return static_cast<uint32_t>(skolem_fns_.size());
+  }
+
   /// Number of interned terms (of all kinds).
   uint32_t NumTerms() const { return static_cast<uint32_t>(terms_.size()); }
 

@@ -1,26 +1,28 @@
 #include "catalog/strategies.h"
 
-#include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "base/check.h"
 #include "catalog/theories.h"
 
 namespace frontiers {
 
 namespace {
 
-[[noreturn]] void Die(const std::string& message) {
-  std::fprintf(stderr, "frontiers: fatal: %s\n", message.c_str());
-  std::abort();
+// Catalog strategies are built against catalog theories, so a missing rule
+// or predicate is a programming error; the Result-returning lookups below
+// stay available to callers probing user-supplied theories.
+size_t RuleIndexByName(const Theory& theory, const std::string& name) {
+  Result<size_t> index = FindRuleIndex(theory, name);
+  FRONTIERS_CHECK(index.ok(), index.message());
+  return index.value();
 }
 
-size_t RuleIndexByName(const Theory& theory, const std::string& name) {
-  for (size_t i = 0; i < theory.rules.size(); ++i) {
-    if (theory.rules[i].name == name) return i;
-  }
-  Die("theory '" + theory.name + "' has no rule named '" + name + "'");
+PredicateId PredicateByName(const Vocabulary& vocab, const std::string& name) {
+  Result<PredicateId> pred = FindPredicateOrError(vocab, name);
+  FRONTIERS_CHECK(pred.ok(), pred.message());
+  return pred.value();
 }
 
 bool HasIncomingEdge(const FactSet& stage, PredicateId pred, TermId t) {
@@ -29,11 +31,29 @@ bool HasIncomingEdge(const FactSet& stage, PredicateId pred, TermId t) {
 
 }  // namespace
 
+Result<size_t> FindRuleIndex(const Theory& theory, std::string_view name) {
+  for (size_t i = 0; i < theory.rules.size(); ++i) {
+    if (theory.rules[i].name == name) return i;
+  }
+  return Status::Error("theory '" + theory.name + "' has no rule named '" +
+                       std::string(name) + "'");
+}
+
+Result<PredicateId> FindPredicateOrError(const Vocabulary& vocab,
+                                         std::string_view name) {
+  std::optional<PredicateId> pred = vocab.FindPredicate(name);
+  if (!pred.has_value()) {
+    return Status::Error("vocabulary has no predicate named '" +
+                         std::string(name) + "'");
+  }
+  return *pred;
+}
+
 ChaseFilter TdWitnessStrategy(const Vocabulary& vocab, const Theory& td) {
   const size_t loop = RuleIndexByName(td, "loop");
   const size_t pins_r = RuleIndexByName(td, "pins_r");
   const size_t pins_g = RuleIndexByName(td, "pins_g");
-  const PredicateId g = vocab.FindPredicate("G").value();
+  const PredicateId g = PredicateByName(vocab, "G");
   const TermId pins_r_var = td.rules[pins_r].domain_vars.at(0);
   return [loop, pins_r, pins_g, g, pins_r_var](size_t rule_index,
                                                const Substitution& sigma,
@@ -62,7 +82,7 @@ ChaseFilter TdKWitnessStrategy(const Vocabulary& vocab, const Theory& tdk,
   }
   std::vector<PredicateId> level_pred(k + 1, kNoPredicate);
   for (uint32_t level = 1; level <= k; ++level) {
-    level_pred[level] = vocab.FindPredicate(TdKPredicateName(level)).value();
+    level_pred[level] = PredicateByName(vocab, TdKPredicateName(level));
   }
   std::unordered_set<TermId> input_terms(db.Domain().begin(),
                                          db.Domain().end());

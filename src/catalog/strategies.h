@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 
 #include "base/fact_set.h"
+#include "base/status.h"
 #include "base/vocabulary.h"
 #include "tgd/substitution.h"
 #include "tgd/tgd.h"
@@ -15,6 +17,17 @@ namespace frontiers {
 using ChaseFilter = std::function<bool(size_t rule_index,
                                        const Substitution& sigma,
                                        const FactSet& stage)>;
+
+/// Index of the rule named `name` in `theory`, or an error status if no
+/// such rule exists.  The genuinely fallible half of the strategy builders:
+/// callers that treat a miss as a programming error wrap the result in
+/// FRONTIERS_CHECK, callers probing user-supplied theories branch on ok().
+Result<size_t> FindRuleIndex(const Theory& theory, std::string_view name);
+
+/// Predicate id of `name` in `vocab`, or an error status if it was never
+/// interned (e.g. a strategy built before its theory).
+Result<PredicateId> FindPredicateOrError(const Vocabulary& vocab,
+                                         std::string_view name);
 
 /// Witness-search strategy for `T_d` (Sections 10-11).
 ///

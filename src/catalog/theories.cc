@@ -1,9 +1,8 @@
 #include "catalog/theories.h"
 
-#include <cstdio>
-#include <cstdlib>
 #include <string>
 
+#include "base/check.h"
 #include "tgd/parser.h"
 
 namespace frontiers {
@@ -15,11 +14,8 @@ namespace {
 Theory MustParse(Vocabulary& vocab, const std::string& text,
                  const std::string& name) {
   Result<Theory> theory = ParseTheory(vocab, text, name);
-  if (!theory.ok()) {
-    std::fprintf(stderr, "frontiers: catalog theory '%s' failed to parse: %s\n",
-                 name.c_str(), theory.status().message().c_str());
-    std::abort();
-  }
+  FRONTIERS_CHECK(theory.ok(), "catalog theory '" + name +
+                                   "' failed to parse: " + theory.message());
   return std::move(theory).value();
 }
 

@@ -4,12 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <unordered_set>
 
+#include "base/check.h"
+#include "chase/snapshot.h"
 #include "hom/matcher.h"
 #include "hom/structure_ops.h"
 
@@ -17,16 +18,61 @@ namespace frontiers {
 
 namespace {
 
-[[noreturn]] void Die(const std::string& message) {
-  std::fprintf(stderr, "frontiers: fatal: %s\n", message.c_str());
-  std::abort();
-}
-
 double Seconds(std::chrono::steady_clock::duration d) {
   return std::chrono::duration_cast<std::chrono::duration<double>>(d).count();
 }
 
+// --- Approximate live-memory accounting -----------------------------------
+// The byte budget (ChaseOptions::max_bytes) meters the chase's own state
+// with closed-form per-object estimates rather than a real allocator hook:
+// the estimates are deterministic (same inputs -> same byte count at every
+// thread count), portable, and cheap.  Constants approximate a 64-bit
+// libstdc++ layout: object header + hash-table slot + heap block overhead.
+
+size_t ApproxAtomBytes(const Atom& atom) {
+  // Atom storage + index_of_ entry + per-position index entries.
+  return 96 + 16 * atom.args.size();
+}
+
+size_t ApproxDerivationBytes(const Derivation& d) {
+  return 48 + 4 * d.parents.size();
+}
+
+size_t ApproxKeyBytes(const std::string& key) {
+  // Hash-set node + the key's characters.
+  return 64 + key.size();
+}
+
 }  // namespace
+
+const char* ChaseStopName(ChaseStop stop) {
+  switch (stop) {
+    case ChaseStop::kFixpoint:
+      return "fixpoint";
+    case ChaseStop::kRoundBudget:
+      return "round-budget";
+    case ChaseStop::kAtomBudget:
+      return "atom-budget";
+    case ChaseStop::kDeadline:
+      return "deadline";
+    case ChaseStop::kByteBudget:
+      return "byte-budget";
+    case ChaseStop::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+bool IsResumableStop(ChaseStop stop) {
+  // kAtomBudget is enforced per inserted atom and may truncate a round
+  // mid-head; every other stop lands on a round boundary.
+  return stop != ChaseStop::kAtomBudget;
+}
+
+uint32_t ResolveWorkerCount(uint32_t requested) {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
 
 uint64_t ChaseStats::TotalMatches() const {
   uint64_t total = 0;
@@ -190,6 +236,12 @@ struct StagedApplication {
   std::string frontier_key;
 };
 
+// Byte estimate of one staged application, for the mid-round budget check.
+size_t ApproxStagedBytes(const StagedApplication& app) {
+  return 96 + 48 * app.sigma.size() + 4 * app.parents.size() +
+         app.frontier_key.size() + 48 * app.head_initial.size();
+}
+
 // Encodes (rule, head-universal projection of sigma) as raw bytes.
 std::string FrontierKey(size_t rule_index, const Tgd& rule,
                         const Substitution& sigma) {
@@ -229,58 +281,251 @@ struct UnitBuffer {
 
 }  // namespace
 
+// Mutable chase state threaded through the round loop.  `Run` builds it
+// from a database, `Resume` from a snapshot; `RunFromState` consumes it.
+// `result.facts`/`depth`/provenance always describe a complete chase stage
+// on entry, `round` is the next round to execute, `delta_*` the previous
+// round's additions, and `live_bytes` the deterministic byte estimate of
+// everything accumulated so far.
+struct ChaseEngine::RunState {
+  ChaseResult result;
+  std::vector<uint32_t> delta_atoms;
+  std::vector<TermId> delta_terms;
+  uint32_t round = 0;
+  size_t live_bytes = 0;
+};
+
 ChaseResult ChaseEngine::Run(const FactSet& db,
                              const ChaseOptions& options) const {
-  using Clock = std::chrono::steady_clock;
-  const Clock::time_point run_start = Clock::now();
-
-  ChaseResult result;
-  result.facts = db;
-  result.depth.assign(db.size(), 0);
+  RunState state;
+  state.result.facts = db;
+  state.result.depth.assign(db.size(), 0);
   const bool provenance =
       options.track_provenance || options.record_all_derivations;
   if (provenance) {
-    result.first_derivation.assign(db.size(), std::nullopt);
+    state.result.first_derivation.assign(db.size(), std::nullopt);
   }
   if (options.record_all_derivations) {
-    result.all_derivations.assign(db.size(), {});
+    state.result.all_derivations.assign(db.size(), {});
+  }
+  state.delta_atoms.resize(db.size());
+  for (uint32_t i = 0; i < db.size(); ++i) state.delta_atoms[i] = i;
+  state.delta_terms = db.Domain();
+  for (const Atom& atom : db.atoms()) {
+    state.live_bytes += ApproxAtomBytes(atom);
+  }
+  return RunFromState(std::move(state), options);
+}
+
+ChaseResult ChaseEngine::Resume(const ChaseSnapshot& snapshot,
+                                const ChaseOptions& options) const {
+  FRONTIERS_CHECK(IsResumableStop(snapshot.stop),
+                  std::string("snapshot stopped by '") +
+                      ChaseStopName(snapshot.stop) +
+                      "' is not resumable: its last round is truncated");
+  // Resuming under a different evaluation regime would silently diverge
+  // from the uninterrupted run the snapshot promises to reproduce.
+  FRONTIERS_CHECK(snapshot.variant == options.variant,
+                  "snapshot was taken under a different chase variant");
+  FRONTIERS_CHECK(snapshot.semi_naive == options.semi_naive,
+                  "snapshot was taken under a different semi-naive mode");
+  FRONTIERS_CHECK(snapshot.track_provenance == options.track_provenance,
+                  "snapshot was taken under a different provenance mode");
+  FRONTIERS_CHECK(
+      snapshot.record_all_derivations == options.record_all_derivations,
+      "snapshot was taken under a different derivation-recording mode");
+  FRONTIERS_CHECK(snapshot.has_filter == static_cast<bool>(options.filter),
+                  "snapshot filter presence does not match the resume "
+                  "options (filters cannot be serialized; the caller must "
+                  "reinstall the same strategy)");
+  FRONTIERS_CHECK(
+      snapshot.theory_fingerprint == TheoryFingerprint(vocab_, theory_),
+      "snapshot was taken over a different theory than this engine's ('" +
+          snapshot.theory_name + "' vs '" + theory_.name + "')");
+  // The vocabulary must already contain the snapshot's terms with the
+  // snapshot's ids — either it is the original vocabulary, or a fresh one
+  // rebuilt via ApplySnapshotVocabulary (which verifies in depth).  Spot-
+  // check here so a mismatched vocabulary fails loudly instead of decoding
+  // atoms under the wrong ids.
+  FRONTIERS_CHECK(vocab_.NumTerms() >= snapshot.terms.size(),
+                  "engine vocabulary is missing snapshot terms; run "
+                  "ApplySnapshotVocabulary first");
+  FRONTIERS_CHECK(vocab_.NumPredicates() >= snapshot.predicates.size(),
+                  "engine vocabulary is missing snapshot predicates");
+  for (uint32_t p = 0; p < snapshot.predicates.size(); ++p) {
+    FRONTIERS_CHECK(vocab_.PredicateName(p) == snapshot.predicates[p].name,
+                    "engine vocabulary disagrees with the snapshot on "
+                    "predicate " + std::to_string(p));
+  }
+  for (uint32_t t = 0; t < snapshot.terms.size(); ++t) {
+    FRONTIERS_CHECK(vocab_.Kind(t) == snapshot.terms[t].kind,
+                    "engine vocabulary disagrees with the snapshot on the "
+                    "kind of term " + std::to_string(t));
+  }
+  FRONTIERS_CHECK(snapshot.depth.size() == snapshot.atoms.size(),
+                  "snapshot depth/atom size mismatch");
+
+  RunState state;
+  ChaseResult& result = state.result;
+  for (const Atom& atom : snapshot.atoms) {
+    const bool inserted = result.facts.Insert(atom);
+    FRONTIERS_CHECK(inserted, "snapshot contains a duplicate atom");
+    state.live_bytes += ApproxAtomBytes(atom);
+  }
+  result.depth = snapshot.depth;
+  const bool provenance =
+      options.track_provenance || options.record_all_derivations;
+  if (provenance) {
+    FRONTIERS_CHECK(snapshot.first_derivation.size() == snapshot.atoms.size(),
+                    "snapshot is missing provenance for some atoms");
+    result.first_derivation = snapshot.first_derivation;
+    for (const std::optional<Derivation>& d : result.first_derivation) {
+      if (d.has_value()) state.live_bytes += ApproxDerivationBytes(*d);
+    }
+  }
+  if (options.record_all_derivations) {
+    FRONTIERS_CHECK(snapshot.all_derivations.size() == snapshot.atoms.size(),
+                    "snapshot is missing derivation lists for some atoms");
+    result.all_derivations = snapshot.all_derivations;
+    for (const std::vector<Derivation>& list : result.all_derivations) {
+      for (const Derivation& d : list) {
+        state.live_bytes += ApproxDerivationBytes(d);
+      }
+    }
+  }
+  for (const auto& [term, atom] : snapshot.birth_atoms) {
+    result.birth_atom.emplace(term, atom);
+  }
+  for (const std::string& key : snapshot.seen_applications) {
+    result.seen_applications.insert(key);
+    state.live_bytes += ApproxKeyBytes(key);
+  }
+  result.stats.rounds = snapshot.round_stats;
+  result.stats.total_seconds = snapshot.total_seconds;
+  state.round = snapshot.next_round;
+
+  // A fixpoint run is already complete; re-entering the loop would append a
+  // spurious empty round to the stats.
+  if (snapshot.stop == ChaseStop::kFixpoint) {
+    result.stop = ChaseStop::kFixpoint;
+    result.complete_rounds = snapshot.next_round;
+    result.approx_bytes = state.live_bytes;
+    return std::move(result);
   }
 
-  uint32_t num_threads = options.threads;
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  // Reconstruct the previous round's delta from the depths: atoms inserted
+  // during round r-1 carry depth r == next_round, and depth is monotone in
+  // atom index, so index order here matches the original insertion order.
+  for (uint32_t i = 0; i < result.depth.size(); ++i) {
+    if (result.depth[i] == state.round) state.delta_atoms.push_back(i);
   }
+  std::unordered_set<TermId> known;
+  for (uint32_t i = 0; i < result.facts.atoms().size(); ++i) {
+    const Atom& atom = result.facts.atoms()[i];
+    const bool in_delta = result.depth[i] == state.round;
+    for (TermId t : atom.args) {
+      if (known.insert(t).second && in_delta) {
+        state.delta_terms.push_back(t);
+      }
+    }
+  }
+  return RunFromState(std::move(state), options);
+}
 
-  // Delta of the previous round: atom indices and first-seen terms.
-  std::vector<uint32_t> delta_atoms(db.size());
-  for (uint32_t i = 0; i < db.size(); ++i) delta_atoms[i] = i;
-  std::vector<TermId> delta_terms = db.Domain();
+ChaseResult ChaseEngine::RunFromState(RunState state,
+                                      const ChaseOptions& options) const {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point run_start = Clock::now();
+  const Clock::time_point deadline_point =
+      options.deadline_seconds > 0
+          ? run_start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                options.deadline_seconds))
+          : Clock::time_point::max();
+
+  ChaseResult& result = state.result;
+  std::vector<uint32_t>& delta_atoms = state.delta_atoms;
+  std::vector<TermId>& delta_terms = state.delta_terms;
+  size_t& live_bytes = state.live_bytes;
+  const bool provenance =
+      options.track_provenance || options.record_all_derivations;
+  const uint32_t num_threads = ResolveWorkerCount(options.threads);
+  // Governance (budget/cancellation checks) is off the hot path entirely
+  // when no budget is installed.
+  const bool governed = options.deadline_seconds > 0 ||
+                        options.max_bytes > 0 || options.cancel != nullptr;
 
   auto finish = [&](ChaseStop stop, uint32_t complete_rounds) {
     result.stop = stop;
     result.complete_rounds = complete_rounds;
-    result.stats.total_seconds = Seconds(Clock::now() - run_start);
-    return result;
+    result.approx_bytes = live_bytes;
+    result.stats.total_seconds += Seconds(Clock::now() - run_start);
+    return std::move(result);
   };
 
-  // Applications already committed (or preempted) in this run, keyed by
-  // (rule, head-universal projection).  Equal keys produce identical
-  // skolemized heads, and the stage only grows, so re-running one is
-  // always a no-op: within a round it is the semi-oblivious "fires once
-  // per frontier assignment" collapse, across rounds it spares the
-  // naively re-enumerated rules (pins under a filter, the semi_naive=false
-  // ablation) their re-commit cost.  Disabled under
-  // record_all_derivations, which wants every distinct derivation.
-  std::unordered_set<std::string> seen_applications;
+  // Stop checks at a round boundary, in fixed priority order.  The byte
+  // check reads only `live_bytes`, which is a deterministic function of the
+  // committed state, so byte-budget trips land on the same round at every
+  // thread count.
+  auto boundary_stop = [&]() -> std::optional<ChaseStop> {
+    if (options.cancel && options.cancel->Cancelled()) {
+      return ChaseStop::kCancelled;
+    }
+    if (Clock::now() >= deadline_point) return ChaseStop::kDeadline;
+    if (options.max_bytes > 0 && live_bytes > options.max_bytes) {
+      return ChaseStop::kByteBudget;
+    }
+    return std::nullopt;
+  };
 
-  uint32_t round = 0;
+  uint32_t round = state.round;
   bool atom_budget_hit = false;
   while (round < options.max_rounds && !atom_budget_hit) {
+    if (governed) {
+      if (std::optional<ChaseStop> stop = boundary_stop()) {
+        return finish(*stop, round);
+      }
+    }
     const Clock::time_point match_start = Clock::now();
     ChaseRoundStats round_stats;
     Matcher matcher(vocab_, result.facts);
     const std::unordered_set<TermId> new_terms(delta_terms.begin(),
                                                delta_terms.end());
+
+    // Mid-round governance.  Workers poll cooperatively; the first trip
+    // wins the CAS and every worker drains at its next poll.  An aborted
+    // round is discarded *whole* — staged buffers and this round's counters
+    // are dropped, leaving the result at the previous round boundary — so
+    // a mid-match trip and a boundary trip produce the same result, which
+    // keeps budget stops deterministic across thread counts: a partial
+    // staged-bytes sum over the budget implies the full (thread-count-
+    // independent) sum is over it too.
+    std::atomic<int> abort_reason{-1};
+    std::atomic<size_t> staged_bytes{0};
+    auto request_abort = [&](ChaseStop stop) {
+      int expected = -1;
+      abort_reason.compare_exchange_strong(expected, static_cast<int>(stop),
+                                           std::memory_order_relaxed);
+    };
+    auto aborting = [&]() {
+      return abort_reason.load(std::memory_order_relaxed) != -1;
+    };
+    auto poll_governor = [&]() {
+      if (aborting()) return;
+      if (options.cancel && options.cancel->Cancelled()) {
+        request_abort(ChaseStop::kCancelled);
+        return;
+      }
+      if (Clock::now() >= deadline_point) {
+        request_abort(ChaseStop::kDeadline);
+        return;
+      }
+      if (options.max_bytes > 0 &&
+          live_bytes + staged_bytes.load(std::memory_order_relaxed) >
+              options.max_bytes) {
+        request_abort(ChaseStop::kByteBudget);
+      }
+    };
 
     // ---- Plan the round's match units -----------------------------------
     // Chunking delta seeds bounds the serial tail; the chunk size affects
@@ -344,11 +589,19 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
     // own buffer, so no synchronization beyond the unit counter is needed.
     auto run_unit = [&](const MatchUnit& unit, UnitBuffer& out) {
       const Tgd& rule = theory_.rules[unit.rule_index];
-      auto stage_match = [&](const Substitution& sigma) {
+      uint64_t poll_counter = 0;
+      // Returns false to stop the enumeration early (budget trip or
+      // cancellation); the partially filled buffer is discarded with the
+      // round, so early exits never affect the committed state.
+      auto stage_match = [&](const Substitution& sigma) -> bool {
+        if (governed) {
+          if ((++poll_counter & 0x1FF) == 0) poll_governor();
+          if (aborting()) return false;
+        }
         ++out.matches;
         if (options.filter &&
             !options.filter(unit.rule_index, sigma, result.facts)) {
-          return;
+          return true;
         }
         StagedApplication app;
         if (options.variant == ChaseVariant::kRestricted) {
@@ -360,7 +613,7 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
           }
           if (matcher.Exists(rule.head, head_existentials_[unit.rule_index],
                              app.head_initial)) {
-            return;
+            return true;
           }
         }
         app.rule_index = unit.rule_index;
@@ -374,18 +627,23 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
               // construction; a miss would silently truncate
               // Derivation::parents and corrupt ancestor reconstruction
               // (Section 13), so it is a fatal engine bug.
-              Die("chase: instantiated body atom of rule '" + rule.name +
-                  "' not found in the stage while recording provenance");
+              FRONTIERS_FATAL("instantiated body atom of rule '" + rule.name +
+                              "' not found in the stage while recording "
+                              "provenance");
             }
             app.parents.push_back(*idx);
           }
         }
         if (!options.record_all_derivations) {
-          app.frontier_key =
-              FrontierKey(unit.rule_index, rule, sigma);
+          app.frontier_key = FrontierKey(unit.rule_index, rule, sigma);
         }
         app.sigma = sigma;
+        if (governed) {
+          staged_bytes.fetch_add(ApproxStagedBytes(app),
+                                 std::memory_order_relaxed);
+        }
         out.staged.push_back(std::move(app));
+        return true;
       };
 
       switch (unit.kind) {
@@ -393,20 +651,26 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
           // Pins-style rule: enumerate domain-variable assignments.  Under
           // delta evaluation only tuples touching a new term are fresh.
           const std::vector<TermId>& full_domain = result.facts.Domain();
-          std::function<void(Substitution&, size_t, bool)> enumerate =
-              [&](Substitution& sub, size_t i, bool used_new) {
-                if (i == rule.domain_vars.size()) {
-                  if (!unit.use_delta || used_new) stage_match(sub);
-                  return;
-                }
-                for (TermId t : full_domain) {
-                  sub[rule.domain_vars[i]] = t;
+          std::function<bool(Substitution&, size_t, bool)> enumerate =
+              [&](Substitution& sub, size_t i, bool used_new) -> bool {
+            if (i == rule.domain_vars.size()) {
+              if (!unit.use_delta || used_new) return stage_match(sub);
+              return true;
+            }
+            for (TermId t : full_domain) {
+              sub[rule.domain_vars[i]] = t;
+              const bool keep =
                   enumerate(sub, i + 1,
                             used_new ||
                                 (unit.use_delta && new_terms.count(t) > 0));
-                }
+              if (!keep) {
                 sub.erase(rule.domain_vars[i]);
-              };
+                return false;
+              }
+            }
+            sub.erase(rule.domain_vars[i]);
+            return true;
+          };
           Substitution sub;
           enumerate(sub, 0, false);
           break;
@@ -414,8 +678,7 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
         case MatchUnit::kNaive: {
           ForEachBodyMatch(vocab_, rule, result.facts,
                            [&](const Substitution& sigma) {
-                             stage_match(sigma);
-                             return true;
+                             return stage_match(sigma);
                            });
           break;
         }
@@ -428,6 +691,7 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
             if (k != unit.seed_pos) rest.push_back(rule.body[k]);
           }
           for (size_t di = unit.delta_begin; di < unit.delta_end; ++di) {
+            if (governed && aborting()) break;
             const Atom& fact = result.facts.atoms()[delta_atoms[di]];
             if (fact.predicate != rule.body[unit.seed_pos].predicate) {
               continue;
@@ -439,8 +703,7 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
             }
             matcher.ForEach(rest, mappable, seed,
                             [&](const Substitution& sigma) {
-                              stage_match(sigma);
-                              return true;
+                              return stage_match(sigma);
                             });
           }
           break;
@@ -458,7 +721,8 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
       auto work = [&]() {
         for (;;) {
           const size_t i = next_unit.fetch_add(1, std::memory_order_relaxed);
-          if (i >= units.size() || failed.load(std::memory_order_relaxed)) {
+          if (i >= units.size() || failed.load(std::memory_order_relaxed) ||
+              aborting()) {
             return;
           }
           try {
@@ -478,7 +742,24 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
       for (std::thread& t : pool) t.join();
       if (first_error) std::rethrow_exception(first_error);
     } else {
-      for (size_t i = 0; i < units.size(); ++i) run_unit(units[i], buffers[i]);
+      for (size_t i = 0; i < units.size(); ++i) {
+        if (governed && aborting()) break;
+        run_unit(units[i], buffers[i]);
+      }
+    }
+
+    if (governed) {
+      // Final deterministic check: all workers have quiesced, so for a run
+      // that finished the match phase `staged_bytes` is the full staged
+      // total — identical at every thread count.
+      poll_governor();
+      if (aborting()) {
+        // Abandon the round whole: buffers and round_stats are discarded,
+        // so the result is exactly the stage after `round` rounds.
+        return finish(
+            static_cast<ChaseStop>(abort_reason.load(std::memory_order_relaxed)),
+            round);
+      }
     }
 
     // Merge per-unit buffers in unit order: this is exactly the order the
@@ -500,6 +781,8 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
     round_stats.match_seconds = Seconds(Clock::now() - match_start);
 
     // ---- Commit the round (sequential) ----------------------------------
+    // Never interrupted: budgets may be overshot by at most one round's
+    // insertions, in exchange for the state always being a chase stage.
     const Clock::time_point commit_start = Clock::now();
     if (options.variant == ChaseVariant::kRestricted) {
       // Commit non-inventing (Datalog) applications first: a Datalog atom
@@ -523,10 +806,12 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
     // the old per-application matcher rebuild.
     Matcher commit_matcher(vocab_, result.facts);
     for (const StagedApplication& app : staged) {
-      if (!options.record_all_derivations &&
-          !seen_applications.insert(app.frontier_key).second) {
-        ++round_stats.deduped;
-        continue;
+      if (!options.record_all_derivations) {
+        if (!result.seen_applications.insert(app.frontier_key).second) {
+          ++round_stats.deduped;
+          continue;
+        }
+        live_bytes += ApproxKeyBytes(app.frontier_key);
       }
       if (options.variant == ChaseVariant::kRestricted) {
         if (commit_matcher.Exists(theory_.rules[app.rule_index].head,
@@ -556,15 +841,18 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
         uint32_t idx = *result.facts.IndexOf(atom);
         if (inserted) {
           ++round_stats.atoms_inserted;
+          live_bytes += ApproxAtomBytes(atom);
           result.depth.push_back(round + 1);
           new_delta_atoms.push_back(idx);
           if (provenance) {
-            result.first_derivation.push_back(
-                Derivation{app.rule_index, app.parents});
+            Derivation d{app.rule_index, app.parents};
+            live_bytes += ApproxDerivationBytes(d);
+            result.first_derivation.push_back(std::move(d));
           }
           if (options.record_all_derivations) {
-            result.all_derivations.push_back(
-                {Derivation{app.rule_index, app.parents}});
+            Derivation d{app.rule_index, app.parents};
+            live_bytes += ApproxDerivationBytes(d);
+            result.all_derivations.push_back({std::move(d)});
           }
           for (size_t pos = 0; pos < atom.args.size(); ++pos) {
             TermId t = atom.args[pos];
@@ -587,7 +875,10 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
               break;
             }
           }
-          if (!duplicate) list.push_back(std::move(d));
+          if (!duplicate) {
+            live_bytes += ApproxDerivationBytes(d);
+            list.push_back(std::move(d));
+          }
         }
       }
       if (atom_budget_hit) break;

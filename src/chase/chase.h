@@ -1,8 +1,10 @@
 #ifndef FRONTIERS_CHASE_CHASE_H_
 #define FRONTIERS_CHASE_CHASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -16,11 +18,49 @@
 
 namespace frontiers {
 
+struct ChaseSnapshot;  // chase/snapshot.h
+
 /// Why a chase run stopped.
 enum class ChaseStop {
   kFixpoint,     ///< A round produced nothing new: Ch(T,D) = Ch_i(T,D).
   kRoundBudget,  ///< max_rounds complete rounds were computed.
   kAtomBudget,   ///< The atom budget was hit (the last round may be partial).
+  kDeadline,     ///< ChaseOptions::deadline_seconds elapsed; the result is a
+                 ///< complete chase stage (the in-flight round was abandoned).
+  kByteBudget,   ///< ChaseOptions::max_bytes exceeded; the result is a
+                 ///< complete chase stage.
+  kCancelled,    ///< ChaseOptions::cancel was tripped; the result is a
+                 ///< complete chase stage.
+};
+
+/// Short lowercase name of a stop reason ("fixpoint", "deadline", ...).
+const char* ChaseStopName(ChaseStop stop);
+
+/// True if `stop` leaves the result at a round boundary — the facts are
+/// exactly `Ch_{complete_rounds}(T, D)` — so the run can be snapshotted
+/// (chase/snapshot.h) and resumed byte-identically.  Every stop reason is
+/// resumable except kAtomBudget, whose last round may be truncated mid-head.
+bool IsResumableStop(ChaseStop stop);
+
+/// Resolved worker count for `requested` threads: `requested` itself, or
+/// (for 0) one worker per hardware thread.  Clamped to at least 1 because
+/// std::thread::hardware_concurrency() is allowed to return 0.
+uint32_t ResolveWorkerCount(uint32_t requested);
+
+/// Cooperative cancellation token.  Share one via ChaseOptions::cancel and
+/// call Cancel() from any thread (a signal-handling thread, a UI, a watchdog)
+/// to stop an in-flight run at the next cancellation point; the run returns
+/// a well-formed partial result with ChaseStop::kCancelled.  Tokens are
+/// level-triggered and never reset: use a fresh token per run.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
 };
 
 /// One recorded derivation of an atom: which rule fired and which atoms
@@ -138,6 +178,24 @@ struct ChaseOptions {
   std::function<bool(size_t rule_index, const Substitution& sigma,
                      const FactSet& stage)>
       filter;
+  /// Wall-clock budget in seconds, measured from entry into Run/Resume.
+  /// <= 0 disables the deadline.  A tripped deadline stops at the next round
+  /// boundary (the in-flight round is abandoned) with ChaseStop::kDeadline.
+  /// *Where* the deadline trips is timing-dependent, but every trip lands on
+  /// a round boundary, so interrupting and resuming always converges to the
+  /// byte-identical full run.
+  double deadline_seconds = 0.0;
+  /// Approximate live-memory budget in bytes over the chase's own state
+  /// (atoms, derivations, dedup keys, staged applications).  0 disables it.
+  /// Enforced at deterministic points only, so a given (db, theory, options)
+  /// triple trips at the same round at every thread count.  The commit phase
+  /// of a round is never interrupted, so the budget can be overshot by at
+  /// most one round's worth of staged insertions.
+  size_t max_bytes = 0;
+  /// Optional external cancellation token, checked at the same cooperative
+  /// points as the budgets.  Cancellation stops at the next round boundary
+  /// with ChaseStop::kCancelled.
+  std::shared_ptr<const CancelToken> cancel;
 };
 
 /// The result of a chase run: the structure plus per-atom metadata.
@@ -163,6 +221,16 @@ struct ChaseResult {
   std::unordered_map<TermId, uint32_t> birth_atom;
   /// Per-round counters and timings.
   ChaseStats stats;
+  /// Approximate bytes of live chase state at the end of the run — the
+  /// quantity ChaseOptions::max_bytes budgets.  Deterministic for a given
+  /// (db, theory, options) triple.
+  size_t approx_bytes = 0;
+  /// The semi-oblivious dedup memo: frontier keys (rule index + head-
+  /// universal projection) of every application committed so far.  Carried
+  /// in the result so snapshots can resume with identical per-round
+  /// `deduped`/`committed` counters.  Empty when record_all_derivations
+  /// disabled the memo.
+  std::unordered_set<std::string> seen_applications;
 
   /// True iff the chase reached a fixpoint, i.e. the (semi-oblivious) chase
   /// of this instance terminates: Ch(T,D) = Ch_{complete_rounds}(T,D).
@@ -195,6 +263,18 @@ class ChaseEngine {
   /// Runs the chase from `db` under `options`.
   ChaseResult Run(const FactSet& db, const ChaseOptions& options) const;
 
+  /// Resumes an interrupted run from `snapshot` (see chase/snapshot.h).
+  /// The snapshot must come from a run over this engine's theory with
+  /// compatible options (variant, semi-naive mode, provenance flags, filter
+  /// presence — all checked), its stop reason must satisfy IsResumableStop,
+  /// and the engine's vocabulary must already contain the snapshot's terms
+  /// (either the original vocabulary, or a fresh one rebuilt with
+  /// ApplySnapshotVocabulary).  The final result — atoms, order, TermIds,
+  /// depths, provenance, per-round counters — is byte-identical to an
+  /// uninterrupted run at any thread count.
+  ChaseResult Resume(const ChaseSnapshot& snapshot,
+                     const ChaseOptions& options) const;
+
   /// Convenience: runs exactly `rounds` rounds (or to fixpoint, whichever
   /// comes first) with default budgets.
   ChaseResult RunToDepth(const FactSet& db, uint32_t rounds) const;
@@ -208,6 +288,11 @@ class ChaseEngine {
                               const Substitution& sigma) const;
 
  private:
+  // Mutable state threaded through the round loop; built by Run from a
+  // database or by Resume from a snapshot, consumed by RunFromState.
+  struct RunState;
+  ChaseResult RunFromState(RunState state, const ChaseOptions& options) const;
+
   Vocabulary& vocab_;
   Theory theory_;
   std::vector<SkolemizedHead> skolemized_;

@@ -1,8 +1,8 @@
 #include "frontier/operations.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
+
+#include "base/check.h"
 
 namespace frontiers {
 
@@ -23,11 +23,6 @@ std::string OperationName(TdOperation op) {
 }
 
 namespace {
-
-[[noreturn]] void Die(const std::string& message) {
-  std::fprintf(stderr, "frontiers: fatal: %s\n", message.c_str());
-  std::abort();
-}
 
 // Removes duplicate atoms (fusing can create them).
 void DedupAtoms(MarkedQuery& q) {
@@ -82,7 +77,7 @@ MarkedQuery ApplyFuse(const MarkedQuery& q, TermId z, TermId z_prime) {
                                 q.query.answer_vars.end(),
                                 z_prime) != q.query.answer_vars.end();
   if (z_is_answer && zp_is_answer) {
-    Die("fuse would identify two answer variables (unsupported query shape)");
+    FRONTIERS_FATAL("fuse would identify two answer variables (unsupported query shape)");
   }
   if (zp_is_answer) std::swap(z, z_prime);
   MarkedQuery out = q;
@@ -106,7 +101,7 @@ std::vector<MarkedQuery> ApplyReduce(Vocabulary& vocab, const TdContext& ctx,
     }
   }
   if (x_r == kNoTerm || x_g == kNoTerm) {
-    Die("reduce applied to a variable without one red and one green in-atom");
+    FRONTIERS_FATAL("reduce applied to a variable without one red and one green in-atom");
   }
   MarkedQuery base = q;
   base.query.atoms.clear();
@@ -133,7 +128,7 @@ StepResult StepLiveQuery(Vocabulary& vocab, const TdContext& ctx,
                          const MarkedQuery& q) {
   std::optional<TermId> max_var = FindMaximalVariable(vocab, ctx, q);
   if (!max_var.has_value()) {
-    Die("StepLiveQuery called on a query without a maximal variable");
+    FRONTIERS_FATAL("StepLiveQuery called on a query without a maximal variable");
   }
   TermId x = *max_var;
 
@@ -171,7 +166,7 @@ StepResult StepLiveQuery(Vocabulary& vocab, const TdContext& ctx,
   } else if (green_sources.size() == 1) {
     step.operation = TdOperation::kCutGreen;
   } else {
-    Die("maximal variable with no in-atoms: not a variable of the query");
+    FRONTIERS_FATAL("maximal variable with no in-atoms: not a variable of the query");
   }
   MarkedQuery cut = ApplyCut(q, x);
   PruneMarks(vocab, cut);

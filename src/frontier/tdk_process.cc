@@ -1,27 +1,17 @@
 #include "frontier/tdk_process.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 #include <deque>
 #include <map>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "base/check.h"
 #include "frontier/operations.h"
 #include "hom/query_ops.h"
 
 namespace frontiers {
-
-namespace {
-
-[[noreturn]] void Die(const std::string& message) {
-  std::fprintf(stderr, "frontiers: fatal: %s\n", message.c_str());
-  std::abort();
-}
-
-}  // namespace
 
 TdKContext TdKContext::Make(Vocabulary& vocab, uint32_t k) {
   TdKContext ctx;
@@ -134,7 +124,7 @@ TdKStep StepLiveQueryK(Vocabulary& vocab, const TdKContext& ctx,
       break;
     }
   }
-  if (x == kNoTerm) Die("StepLiveQueryK: no maximal variable");
+  if (x == kNoTerm) FRONTIERS_FATAL("StepLiveQueryK: no maximal variable");
 
   // In-atoms of x grouped by level.
   std::map<uint32_t, std::vector<TermId>> sources_by_level;
@@ -164,7 +154,7 @@ TdKStep StepLiveQueryK(Vocabulary& vocab, const TdKContext& ctx,
     uint32_t high = it->first;
     TermId high_source = it->second[0];
     if (high != low + 1) {
-      Die("StepLiveQueryK: non-adjacent in-levels on a live query");
+      FRONTIERS_FATAL("StepLiveQueryK: non-adjacent in-levels on a live query");
     }
     // Mirror ApplyReduce with red = I_{high}, green = I_{low}:
     // remove I_high(x_r, x), I_low(x_g, x); add I_low(u,w), I_low(w,x_r),
@@ -213,7 +203,7 @@ TdKStep StepLiveQueryK(Vocabulary& vocab, const TdKContext& ctx,
     step.results = {std::move(cut)};
     return step;
   }
-  Die("StepLiveQueryK: maximal variable with no in-atoms");
+  FRONTIERS_FATAL("StepLiveQueryK: maximal variable with no in-atoms");
 }
 
 std::optional<BigNat> EdgeRankK(const Vocabulary& vocab, const TdKContext& ctx,

@@ -1,18 +1,13 @@
 #include "tgd/tgd.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 #include <unordered_set>
+
+#include "base/check.h"
 
 namespace frontiers {
 
 namespace {
-
-[[noreturn]] void Die(const std::string& message) {
-  std::fprintf(stderr, "frontiers: fatal: %s\n", message.c_str());
-  std::abort();
-}
 
 std::vector<TermId> VariablesInOrder(const Vocabulary& vocab,
                                      const std::vector<Atom>& atoms) {
@@ -31,7 +26,7 @@ std::vector<TermId> VariablesInOrder(const Vocabulary& vocab,
 Tgd MakeTgd(const Vocabulary& vocab, std::vector<Atom> body,
             std::vector<Atom> head, std::vector<TermId> existential_vars,
             std::string name) {
-  if (head.empty()) Die("TGD '" + name + "' has an empty head");
+  FRONTIERS_CHECK(!head.empty(), "TGD '" + name + "' has an empty head");
   Tgd rule;
   rule.name = std::move(name);
   rule.body = std::move(body);
@@ -44,10 +39,9 @@ Tgd MakeTgd(const Vocabulary& vocab, std::vector<Atom> body,
   std::unordered_set<TermId> existential_set(rule.existential_vars.begin(),
                                              rule.existential_vars.end());
   for (TermId v : rule.existential_vars) {
-    if (body_var_set.count(v) > 0) {
-      Die("TGD '" + rule.name + "': existential variable " +
-          vocab.TermToString(v) + " occurs in the body");
-    }
+    FRONTIERS_CHECK(body_var_set.count(v) == 0,
+                    "TGD '" + rule.name + "': existential variable " +
+                        vocab.TermToString(v) + " occurs in the body");
   }
 
   std::vector<TermId> head_vars = VariablesInOrder(vocab, rule.head);

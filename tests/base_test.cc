@@ -5,6 +5,7 @@
 
 #include "base/atom.h"
 #include "base/bignat.h"
+#include "base/check.h"
 #include "base/fact_set.h"
 #include "base/status.h"
 #include "base/vocabulary.h"
@@ -316,6 +317,42 @@ TEST_F(FactSetTest, AtomDegreeCountsIncidentAtomsOnce) {
   EXPECT_EQ(facts.AtomDegree(a_), 2u);
   EXPECT_EQ(facts.AtomDegree(b_), 1u);
   EXPECT_EQ(facts.AtomDegree(c_), 0u);
+}
+
+TEST(StatusTest, OkAndErrorBasics) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_TRUE(Status::Ok().message().empty());
+  Status error = Status::Error("went sideways");
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.message(), "went sideways");
+}
+
+TEST(ResultTest, HoldsValueOrError) {
+  Result<int> good(41);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 41);
+  EXPECT_EQ(good.value_or(-1), 41);
+  EXPECT_TRUE(good.message().empty());
+
+  Result<int> bad(Status::Error("no value"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_EQ(bad.message(), "no value");
+}
+
+TEST(ResultDeathTest, ConstructingFromOkStatusAborts) {
+  // An OK status carries no value, so `Result<T>(Status::Ok())` would make
+  // every later value() access UB; the constructor rejects it up front.
+  EXPECT_DEATH(Result<int>{Status::Ok()}, "OK status carries no value");
+}
+
+TEST(CheckDeathTest, FailedCheckPrintsConditionAndMessage) {
+  EXPECT_DEATH(FRONTIERS_CHECK(1 + 1 == 3, "arithmetic drifted"),
+               "CHECK\\(1 \\+ 1 == 3\\) failed: arithmetic drifted");
+  // The message expression is only evaluated on failure.
+  bool evaluated = false;
+  FRONTIERS_CHECK(true, (evaluated = true, "unused"));
+  EXPECT_FALSE(evaluated);
 }
 
 }  // namespace

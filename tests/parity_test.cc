@@ -11,14 +11,19 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "base/fact_set.h"
 #include "base/vocabulary.h"
 #include "catalog/instances.h"
+#include "catalog/strategies.h"
 #include "catalog/theories.h"
 #include "chase/chase.h"
+#include "chase/snapshot.h"
 
 namespace frontiers {
 namespace {
@@ -98,6 +103,56 @@ void ExpectSameStages(const ChaseResult& a, const ChaseResult& b,
   }
 }
 
+// Per-round counter parity (timings are excluded: they are measurements,
+// not part of the determinism contract).
+void ExpectSameRoundCounters(const ChaseStats& a, const ChaseStats& b,
+                             const std::string& label) {
+  ASSERT_EQ(a.rounds.size(), b.rounds.size()) << label << ": round count";
+  for (size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].matches, b.rounds[i].matches)
+        << label << ": matches of round " << i;
+    EXPECT_EQ(a.rounds[i].staged, b.rounds[i].staged)
+        << label << ": staged of round " << i;
+    EXPECT_EQ(a.rounds[i].committed, b.rounds[i].committed)
+        << label << ": committed of round " << i;
+    EXPECT_EQ(a.rounds[i].preempted, b.rounds[i].preempted)
+        << label << ": preempted of round " << i;
+    EXPECT_EQ(a.rounds[i].deduped, b.rounds[i].deduped)
+        << label << ": deduped of round " << i;
+    EXPECT_EQ(a.rounds[i].atoms_inserted, b.rounds[i].atoms_inserted)
+        << label << ": inserted of round " << i;
+  }
+}
+
+// A budget-stopped result must be a well-formed chase stage: the facts are
+// exactly Ch_{complete_rounds}, a prefix of the uninterrupted run.
+void ExpectValidPartialResult(const ChaseResult& partial,
+                              const ChaseResult& reference,
+                              const std::string& label) {
+  EXPECT_TRUE(IsResumableStop(partial.stop)) << label;
+  ASSERT_EQ(partial.depth.size(), partial.facts.size()) << label;
+  ASSERT_LE(partial.facts.size(), reference.facts.size()) << label;
+  for (size_t i = 0; i < partial.facts.size(); ++i) {
+    EXPECT_EQ(partial.facts.atoms()[i], reference.facts.atoms()[i])
+        << label << ": atom " << i << " is not a prefix of the reference";
+    EXPECT_EQ(partial.depth[i], reference.depth[i])
+        << label << ": depth of atom " << i;
+  }
+  uint32_t last_depth = 0;
+  for (size_t i = 0; i < partial.depth.size(); ++i) {
+    EXPECT_GE(partial.depth[i], last_depth)
+        << label << ": depths are not monotone at atom " << i;
+    EXPECT_LE(partial.depth[i], partial.complete_rounds)
+        << label << ": atom " << i << " is deeper than the complete rounds";
+    last_depth = partial.depth[i];
+  }
+  EXPECT_TRUE(
+      partial.PrefixAtDepth(partial.complete_rounds).SetEquals(partial.facts))
+      << label << ": facts are not the stage at complete_rounds";
+  EXPECT_EQ(partial.stats.rounds.size(), partial.complete_rounds)
+      << label << ": a discarded in-flight round leaked into the stats";
+}
+
 ChaseOptions Options(const ParityCase& pc, bool semi_naive, uint32_t threads,
                      ChaseVariant variant) {
   ChaseOptions options;
@@ -171,6 +226,250 @@ TEST(ParityTest, RestrictedVariantIsDeterministicUnderMergedCommitOrder) {
     ExpectIdentical(first, second, pc.name + "/repeat");
     ExpectIdentical(first, sequential, pc.name + "/vs-sequential");
   }
+}
+
+TEST(ParityTest, ThreadsZeroResolvesToAtLeastOneWorker) {
+  // hardware_concurrency() may legally return 0; the resolved worker count
+  // must never be 0 (a zero-worker pool would deadlock the round loop).
+  EXPECT_GE(ResolveWorkerCount(0), 1u);
+  EXPECT_EQ(ResolveWorkerCount(1), 1u);
+  EXPECT_EQ(ResolveWorkerCount(7), 7u);
+  const ParityCase pc = Catalog()[1];  // forward-path
+  Vocabulary vocab;
+  Theory theory = pc.theory(vocab);
+  FactSet db = pc.instance(vocab);
+  ChaseEngine engine(vocab, theory);
+  ChaseResult one =
+      engine.Run(db, Options(pc, true, 1, ChaseVariant::kSemiOblivious));
+  ChaseResult all =
+      engine.Run(db, Options(pc, true, 0, ChaseVariant::kSemiOblivious));
+  ExpectIdentical(one, all, "threads=0");
+}
+
+TEST(ParityTest, RoundBudgetChainedResumeMatchesSingleRun) {
+  // Deterministic interrupt: run one round, snapshot, resume to the full
+  // budget — the result must be byte-identical to the uninterrupted run,
+  // counters included, at every thread count.
+  for (const ParityCase& pc : Catalog()) {
+    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+      const std::string label =
+          pc.name + "/round-resume/threads=" + std::to_string(threads);
+      Vocabulary vocab;
+      Theory theory = pc.theory(vocab);
+      FactSet db = pc.instance(vocab);
+      ChaseEngine engine(vocab, theory);
+      ChaseResult reference =
+          engine.Run(db, Options(pc, true, threads, ChaseVariant::kSemiOblivious));
+
+      ChaseOptions slice =
+          Options(pc, true, threads, ChaseVariant::kSemiOblivious);
+      slice.max_rounds = 1;
+      ChaseResult partial = engine.Run(db, slice);
+      Result<ChaseSnapshot> snapshot =
+          MakeSnapshot(vocab, theory, partial, slice);
+      ASSERT_TRUE(snapshot.ok()) << label << ": " << snapshot.message();
+      ChaseResult resumed = engine.Resume(
+          snapshot.value(),
+          Options(pc, true, threads, ChaseVariant::kSemiOblivious));
+      ExpectIdentical(reference, resumed, label);
+      ExpectSameRoundCounters(reference.stats, resumed.stats, label);
+      EXPECT_EQ(reference.approx_bytes, resumed.approx_bytes) << label;
+    }
+  }
+}
+
+TEST(ParityTest, DeadlineStopYieldsValidPartialResultAndResumes) {
+  const ParityCase pc = Catalog()[3];  // tc-cycle
+  for (uint32_t threads : {1u, 4u}) {
+    const std::string label =
+        pc.name + "/deadline/threads=" + std::to_string(threads);
+    Vocabulary vocab;
+    Theory theory = pc.theory(vocab);
+    FactSet db = pc.instance(vocab);
+    ChaseEngine engine(vocab, theory);
+    ChaseResult reference =
+        engine.Run(db, Options(pc, true, threads, ChaseVariant::kSemiOblivious));
+
+    ChaseOptions expired =
+        Options(pc, true, threads, ChaseVariant::kSemiOblivious);
+    expired.deadline_seconds = 1e-9;  // already elapsed at the first check
+    ChaseResult partial = engine.Run(db, expired);
+    EXPECT_EQ(partial.stop, ChaseStop::kDeadline) << label;
+    ExpectValidPartialResult(partial, reference, label);
+
+    Result<ChaseSnapshot> snapshot =
+        MakeSnapshot(vocab, theory, partial, expired);
+    ASSERT_TRUE(snapshot.ok()) << label << ": " << snapshot.message();
+    ChaseResult resumed = engine.Resume(
+        snapshot.value(),
+        Options(pc, true, threads, ChaseVariant::kSemiOblivious));
+    ExpectIdentical(reference, resumed, label);
+    ExpectSameRoundCounters(reference.stats, resumed.stats, label);
+  }
+}
+
+TEST(ParityTest, ByteBudgetStopIsDeterministicAndResumes) {
+  const ParityCase pc = Catalog()[6];  // td-grid: several growing rounds
+  Vocabulary ref_vocab;
+  Theory ref_theory = pc.theory(ref_vocab);
+  FactSet ref_db = pc.instance(ref_vocab);
+  ChaseEngine ref_engine(ref_vocab, ref_theory);
+  ChaseResult reference = ref_engine.Run(
+      ref_db, Options(pc, true, 1, ChaseVariant::kSemiOblivious));
+  ASSERT_GT(reference.approx_bytes, 0u);
+  const size_t budget = reference.approx_bytes / 2;
+
+  ChaseResult first_partial;
+  bool have_first = false;
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    const std::string label =
+        pc.name + "/byte-budget/threads=" + std::to_string(threads);
+    Vocabulary vocab;
+    Theory theory = pc.theory(vocab);
+    FactSet db = pc.instance(vocab);
+    ChaseEngine engine(vocab, theory);
+    ChaseOptions capped = Options(pc, true, threads, ChaseVariant::kSemiOblivious);
+    capped.max_bytes = budget;
+    ChaseResult partial = engine.Run(db, capped);
+    EXPECT_EQ(partial.stop, ChaseStop::kByteBudget) << label;
+    EXPECT_LT(partial.complete_rounds, reference.complete_rounds) << label;
+    ExpectValidPartialResult(partial, reference, label);
+    if (!have_first) {
+      first_partial = partial;
+      have_first = true;
+    } else {
+      // The byte budget is enforced at deterministic points only, so the
+      // trip round must not depend on the thread count.
+      ExpectIdentical(first_partial, partial, label + "/vs-first-trip");
+      ExpectSameRoundCounters(first_partial.stats, partial.stats, label);
+    }
+
+    Result<ChaseSnapshot> snapshot = MakeSnapshot(vocab, theory, partial, capped);
+    ASSERT_TRUE(snapshot.ok()) << label << ": " << snapshot.message();
+    ChaseResult resumed = engine.Resume(
+        snapshot.value(),
+        Options(pc, true, threads, ChaseVariant::kSemiOblivious));
+    ExpectIdentical(reference, resumed, label + "/resumed");
+    ExpectSameRoundCounters(reference.stats, resumed.stats, label);
+    EXPECT_EQ(reference.approx_bytes, resumed.approx_bytes) << label;
+  }
+}
+
+TEST(ParityTest, CancellationViaTokenStopsAtRoundBoundaryAndResumes) {
+  const ParityCase pc = Catalog()[1];  // forward-path
+  for (uint32_t threads : {1u, 4u}) {
+    const std::string label =
+        pc.name + "/cancel/threads=" + std::to_string(threads);
+    Vocabulary vocab;
+    Theory theory = pc.theory(vocab);
+    FactSet db = pc.instance(vocab);
+    ChaseEngine engine(vocab, theory);
+    // The reference also installs an (always-true) filter: filter presence
+    // changes unit planning, and resuming checks it matches the snapshot.
+    ChaseOptions ref_options =
+        Options(pc, true, threads, ChaseVariant::kSemiOblivious);
+    ref_options.filter = [](size_t, const Substitution&, const FactSet&) {
+      return true;
+    };
+    ChaseResult reference = engine.Run(db, ref_options);
+
+    // A token pre-cancelled before the run starts: nothing may execute.
+    auto dead_on_arrival = std::make_shared<CancelToken>();
+    dead_on_arrival->Cancel();
+    ChaseOptions cancelled = ref_options;
+    cancelled.cancel = dead_on_arrival;
+    ChaseResult nothing = engine.Run(db, cancelled);
+    EXPECT_EQ(nothing.stop, ChaseStop::kCancelled) << label;
+    EXPECT_EQ(nothing.complete_rounds, 0u) << label;
+    EXPECT_EQ(nothing.facts.size(), db.size()) << label;
+
+    // A token tripped from inside the match phase (the filter doubles as
+    // the external canceller); workers must drain at the next poll and the
+    // in-flight round must be discarded whole.
+    auto token = std::make_shared<CancelToken>();
+    auto calls = std::make_shared<std::atomic<uint64_t>>(0);
+    ChaseOptions midway = ref_options;
+    midway.cancel = token;
+    midway.filter = [token, calls](size_t, const Substitution&,
+                                   const FactSet&) {
+      if (calls->fetch_add(1, std::memory_order_relaxed) == 0) {
+        token->Cancel();
+      }
+      return true;
+    };
+    ChaseResult partial = engine.Run(db, midway);
+    EXPECT_EQ(partial.stop, ChaseStop::kCancelled) << label;
+    ExpectValidPartialResult(partial, reference, label);
+
+    Result<ChaseSnapshot> snapshot =
+        MakeSnapshot(vocab, theory, partial, midway);
+    ASSERT_TRUE(snapshot.ok()) << label << ": " << snapshot.message();
+    ChaseResult resumed = engine.Resume(snapshot.value(), ref_options);
+    ExpectIdentical(reference, resumed, label + "/resumed");
+    ExpectSameRoundCounters(reference.stats, resumed.stats, label);
+  }
+}
+
+TEST(ParityTest, InterruptResumeParityOnTdK3Tower) {
+  // The acceptance scenario: the T_d^3 tower chase (witness strategy over
+  // an I_1-path) interrupted by a deadline and by a byte budget,
+  // snapshotted through a file, resumed — byte-identical to the
+  // uninterrupted run at every thread count.
+  Vocabulary ref_vocab;
+  Theory ref_tdk = TdKTheory(ref_vocab, 3);
+  FactSet ref_db = I1Path4(ref_vocab);
+  ChaseEngine ref_engine(ref_vocab, ref_tdk);
+  ChaseOptions ref_options;
+  ref_options.max_rounds = 12;
+  ref_options.max_atoms = 100'000;
+  ref_options.track_provenance = true;
+  ref_options.filter = TdKWitnessStrategy(ref_vocab, ref_tdk, 3, ref_db);
+  ChaseResult reference = ref_engine.Run(ref_db, ref_options);
+  ASSERT_GT(reference.complete_rounds, 2u);
+
+  const std::string path = "parity_tdk3_tower.frsnap";
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    for (const bool use_deadline : {true, false}) {
+      const std::string label = std::string("tdk3-tower/") +
+                                (use_deadline ? "deadline" : "byte-budget") +
+                                "/threads=" + std::to_string(threads);
+      Vocabulary vocab;
+      Theory tdk = TdKTheory(vocab, 3);
+      FactSet db = I1Path4(vocab);
+      ChaseEngine engine(vocab, tdk);
+      ChaseOptions options = ref_options;
+      options.threads = threads;
+      options.filter = TdKWitnessStrategy(vocab, tdk, 3, db);
+      ChaseOptions capped = options;
+      if (use_deadline) {
+        capped.deadline_seconds = 1e-9;
+      } else {
+        capped.max_bytes = reference.approx_bytes / 2;
+      }
+      ChaseResult partial = engine.Run(db, capped);
+      EXPECT_EQ(partial.stop, use_deadline ? ChaseStop::kDeadline
+                                           : ChaseStop::kByteBudget)
+          << label;
+      ExpectValidPartialResult(partial, reference, label);
+
+      // Round-trip the snapshot through the on-disk codec.
+      Result<ChaseSnapshot> snapshot =
+          MakeSnapshot(vocab, tdk, partial, capped);
+      ASSERT_TRUE(snapshot.ok()) << label << ": " << snapshot.message();
+      Status written = WriteSnapshotFile(path, snapshot.value());
+      ASSERT_TRUE(written.ok()) << label << ": " << written.message();
+      Result<ChaseSnapshot> reloaded = ReadSnapshotFile(path);
+      ASSERT_TRUE(reloaded.ok()) << label << ": " << reloaded.message();
+
+      ChaseResult resumed = engine.Resume(reloaded.value(), options);
+      ExpectIdentical(reference, resumed, label + "/resumed");
+      ExpectSameRoundCounters(reference.stats, resumed.stats, label);
+      EXPECT_EQ(reference.approx_bytes, resumed.approx_bytes) << label;
+    }
+  }
+  // Keep the snapshot on disk when something failed: CI uploads *.frsnap
+  // as a debugging artifact.
+  if (!::testing::Test::HasFailure()) std::remove(path.c_str());
 }
 
 }  // namespace
