@@ -180,9 +180,27 @@ int Run() {
 
   bench::Table table({"scenario", "interrupts", "atoms", "rounds",
                       "identical to uninterrupted"});
+  // Structured twin of each table row; carries the final stop reason as the
+  // budget marker when a scenario ended on a tripped budget (it never
+  // should — that is the parity claim).
+  auto emit = [](const char* scenario, uint32_t interrupts,
+                 const ChaseResult& result, const char* identical) {
+    bench::JsonRow row;
+    row.Param("scenario", scenario)
+        .Param("identical", identical)
+        .Counter("interrupts", interrupts)
+        .Counter("atoms", result.facts.size())
+        .Counter("rounds", result.complete_rounds)
+        .Seconds("wall", result.stats.total_seconds);
+    if (bench::BudgetTripped(result.stop)) {
+      row.Budget(ChaseStopName(result.stop));
+    }
+    row.Emit();
+  };
   table.AddRow({"reference (uninterrupted)", "0",
                 std::to_string(reference.facts.size()),
                 std::to_string(reference.complete_rounds), "-"});
+  emit("reference", 0, reference, "-");
 
   {
     Workload w;
@@ -201,6 +219,8 @@ int Run() {
                   std::to_string(result.facts.size()),
                   std::to_string(result.complete_rounds),
                   bench::YesNo(Identical(result, reference))});
+    emit("deadline", interrupts, result,
+         Identical(result, reference) ? "yes" : "no");
   }
 
   {
@@ -221,6 +241,8 @@ int Run() {
                   std::to_string(result.facts.size()),
                   std::to_string(result.complete_rounds),
                   bench::YesNo(Identical(result, reference))});
+    emit("byte_budget", interrupts, result,
+         Identical(result, reference) ? "yes" : "no");
   }
 
   {
@@ -231,6 +253,8 @@ int Run() {
                   std::to_string(result.facts.size()),
                   std::to_string(result.complete_rounds),
                   bench::YesNo(Identical(result, reference))});
+    emit("process_restart", interrupts, result,
+         Identical(result, reference) ? "yes" : "no");
   }
 
   table.Print();
@@ -245,4 +269,6 @@ int Run() {
 }  // namespace
 }  // namespace frontiers
 
-int main() { return frontiers::Run(); }
+int main(int argc, char** argv) {
+  return frontiers::bench::Main(argc, argv, frontiers::Run);
+}

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "base/vocabulary.h"
+#include "bench/report.h"
 #include "catalog/instances.h"
 #include "catalog/strategies.h"
 #include "catalog/theories.h"
@@ -104,4 +105,25 @@ BENCHMARK(BM_Example39Chase)->Arg(3)->Arg(4)->Arg(5);
 }  // namespace
 }  // namespace frontiers
 
-BENCHMARK_MAIN();
+// Hand-expanded BENCHMARK_MAIN() routed through bench::Main so this binary
+// honors --trace=<file.json> like the table-style experiments.  The flag is
+// stripped before benchmark::Initialize, which would otherwise reject it.
+int main(int argc, char** argv) {
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--trace=", 0) != 0 || i == 0) {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  return frontiers::bench::Main(argc, argv, [&]() {
+    benchmark::Initialize(&bench_argc, bench_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_argv.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  });
+}

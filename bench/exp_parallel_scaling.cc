@@ -79,8 +79,19 @@ void Sweep(const std::string& title, Vocabulary& vocab, const Theory& theory,
                   Fmt(p.match_seconds), Fmt(p.commit_seconds),
                   std::to_string(p.atoms), std::to_string(p.matches),
                   Fmt(base_seconds / p.seconds), "yes"});
+    // Structured twin of the table row, with typed fields (the table's
+    // auto-emitted row carries strings only).
+    bench::JsonRow()
+        .Param("threads", uint64_t{p.threads})
+        .Counter("atoms", p.atoms)
+        .Counter("matches", p.matches)
+        .Seconds("wall", p.seconds)
+        .Seconds("match", p.match_seconds)
+        .Seconds("commit", p.commit_seconds)
+        .Emit();
   }
   table.Print();
+  std::printf("1-thread run: %s\n\n", baseline.stats.Summary().c_str());
 }
 
 void Run() {
@@ -140,7 +151,6 @@ void Run() {
 }  // namespace
 }  // namespace frontiers
 
-int main() {
-  frontiers::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return frontiers::bench::Main(argc, argv, frontiers::Run);
 }

@@ -106,4 +106,6 @@ int Run() {
 }  // namespace
 }  // namespace frontiers
 
-int main() { return frontiers::Run(); }
+int main(int argc, char** argv) {
+  return frontiers::bench::Main(argc, argv, frontiers::Run);
+}

@@ -91,7 +91,6 @@ void Run() {
 }  // namespace
 }  // namespace frontiers
 
-int main() {
-  frontiers::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return frontiers::bench::Main(argc, argv, frontiers::Run);
 }

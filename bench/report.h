@@ -1,24 +1,206 @@
 #ifndef FRONTIERS_BENCH_REPORT_H_
 #define FRONTIERS_BENCH_REPORT_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "chase/chase.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+/// Build identifier stamped into every machine-readable bench row.  The
+/// top-level CMakeLists.txt defines it from `git describe --always --dirty`;
+/// this fallback keeps non-CMake consumers (IDE indexers, ad-hoc compiles)
+/// working.
+#ifndef FRONTIERS_BUILD_ID
+#define FRONTIERS_BUILD_ID "unknown"
+#endif
 
 namespace frontiers::bench {
 
+/// Schema tag on every emitted row; bump when the row shape changes.
+inline constexpr const char kBenchSchema[] = "frontiers-bench-v1";
+
+/// Process-wide sink for machine-readable bench rows.  Disabled unless the
+/// environment variable FRONTIERS_BENCH_JSON names a directory, in which
+/// case each row is appended as one JSON object per line (JSONL) to
+/// `<dir>/BENCH_<experiment>.json`.  Append mode is deliberate: CI runs a
+/// binary several times (trace on/off, different budgets) and wants all
+/// rows in one file.  Single-threaded by design — experiment mains emit
+/// rows from their own thread only.
+class JsonSink {
+ public:
+  static JsonSink& Instance() {
+    static JsonSink sink;
+    return sink;
+  }
+
+  /// True when FRONTIERS_BENCH_JSON is set; rows will be written.
+  bool enabled() const { return !dir_.empty(); }
+
+  /// Experiment name used in rows and the output filename.  bench::Main
+  /// sets it from argv[0]; "unknown" until then.
+  void SetExperiment(std::string name) {
+    if (!name.empty()) experiment_ = std::move(name);
+  }
+  const std::string& experiment() const { return experiment_; }
+
+  /// Current table section, stamped into rows emitted after Section().
+  void SetSection(std::string name) { section_ = std::move(name); }
+  const std::string& section() const { return section_; }
+
+  /// Appends one already-serialized JSON object as a line.  Opens the
+  /// output file lazily so SetExperiment() can run first.
+  void Append(const std::string& line) {
+    if (!enabled()) return;
+    if (out_ == nullptr) {
+      std::string path = dir_ + "/BENCH_" + experiment_ + ".json";
+      out_ = std::fopen(path.c_str(), "a");
+      if (out_ == nullptr) {
+        std::fprintf(stderr, "[bench-json] cannot open %s; disabling sink\n",
+                     path.c_str());
+        dir_.clear();
+        return;
+      }
+    }
+    std::fprintf(out_, "%s\n", line.c_str());
+  }
+
+  /// Flushes and closes the output file (idempotent).
+  void Close() {
+    if (out_ != nullptr) {
+      std::fclose(out_);
+      out_ = nullptr;
+    }
+  }
+
+ private:
+  JsonSink() {
+    const char* dir = std::getenv("FRONTIERS_BENCH_JSON");
+    if (dir != nullptr && *dir != '\0') dir_ = dir;
+  }
+  ~JsonSink() { Close(); }
+
+  std::string dir_;
+  std::string experiment_ = "unknown";
+  std::string section_;
+  std::FILE* out_ = nullptr;
+};
+
+/// Builder for one structured bench row.  Every row carries the schema tag,
+/// experiment name, build id, and current section; callers add typed fields
+/// into three sub-objects — `params` (the experiment configuration for the
+/// row), `counters` (integral work measures), `seconds` (wall times) — plus
+/// an optional budget-trip marker.  Emit() writes the row through JsonSink
+/// and is a no-op when the sink is disabled, so instrumented experiments
+/// cost nothing in normal terminal runs.
+class JsonRow {
+ public:
+  JsonRow() = default;
+
+  JsonRow& Param(std::string_view key, std::string_view value) {
+    AppendField(params_, key, Quote(value));
+    return *this;
+  }
+  JsonRow& Param(std::string_view key, double value) {
+    AppendField(params_, key, Number(value));
+    return *this;
+  }
+  JsonRow& Param(std::string_view key, uint64_t value) {
+    AppendField(params_, key, Unsigned(value));
+    return *this;
+  }
+  JsonRow& Counter(std::string_view key, uint64_t value) {
+    AppendField(counters_, key, Unsigned(value));
+    return *this;
+  }
+  JsonRow& Seconds(std::string_view key, double value) {
+    AppendField(seconds_, key, Number(value));
+    return *this;
+  }
+  /// Marks the row as budget-tripped; `reason` is a ChaseStopName() string
+  /// such as "deadline".  Rows without a trip carry `"budget": null`.
+  JsonRow& Budget(std::string_view reason) {
+    budget_ = Quote(reason);
+    return *this;
+  }
+
+  /// Serializes and appends the row (one line) to the sink.
+  void Emit() {
+    JsonSink& sink = JsonSink::Instance();
+    if (!sink.enabled()) return;
+    std::string line = "{\"schema\":\"";
+    line += kBenchSchema;
+    line += "\",\"experiment\":\"";
+    line += obs::JsonEscape(sink.experiment());
+    line += "\",\"build\":\"";
+    line += obs::JsonEscape(FRONTIERS_BUILD_ID);
+    line += "\",\"section\":\"";
+    line += obs::JsonEscape(sink.section());
+    line += "\",\"params\":{";
+    line += params_;
+    line += "},\"counters\":{";
+    line += counters_;
+    line += "},\"seconds\":{";
+    line += seconds_;
+    line += "},\"budget\":";
+    line += budget_.empty() ? "null" : budget_;
+    line += "}";
+    sink.Append(line);
+  }
+
+ private:
+  static std::string Quote(std::string_view value) {
+    return "\"" + obs::JsonEscape(value) + "\"";
+  }
+  static std::string Number(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+  }
+  static std::string Unsigned(uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    return buf;
+  }
+  static void AppendField(std::string& object, std::string_view key,
+                          const std::string& rendered) {
+    if (!object.empty()) object += ",";
+    object += "\"" + obs::JsonEscape(key) + "\":" + rendered;
+  }
+
+  std::string params_;
+  std::string counters_;
+  std::string seconds_;
+  std::string budget_;
+};
+
 /// Minimal fixed-width table printer shared by the experiment binaries.
 /// Each experiment prints one or more tables in the style the paper's
-/// claims would appear as evaluation tables.
+/// claims would appear as evaluation tables.  When FRONTIERS_BENCH_JSON is
+/// set, every AddRow() also emits a structured row (headers become param
+/// keys), so all experiments produce machine-readable output with no
+/// per-binary code.
 class Table {
  public:
   explicit Table(std::vector<std::string> headers)
       : headers_(std::move(headers)) {}
 
   void AddRow(std::vector<std::string> cells) {
+    if (JsonSink::Instance().enabled()) {
+      JsonRow row;
+      for (size_t i = 0; i < cells.size() && i < headers_.size(); ++i) {
+        row.Param(headers_[i], cells[i]);
+      }
+      row.Emit();
+    }
     rows_.push_back(std::move(cells));
   }
 
@@ -56,6 +238,7 @@ class Table {
 };
 
 inline void Section(const std::string& title) {
+  JsonSink::Instance().SetSection(title);
   std::printf("== %s ==\n\n", title.c_str());
 }
 
@@ -124,6 +307,63 @@ class BudgetGuard {
   size_t max_bytes_;
   bool tripped_ = false;
 };
+
+/// argv[0] → experiment name: basename, minus a trailing ".exe" if any.
+inline std::string ExperimentName(const char* argv0) {
+  std::string_view name = argv0 == nullptr ? "" : argv0;
+  size_t slash = name.find_last_of("/\\");
+  if (slash != std::string_view::npos) name.remove_prefix(slash + 1);
+  if (name.size() > 4 && name.substr(name.size() - 4) == ".exe") {
+    name.remove_suffix(4);
+  }
+  return std::string(name);
+}
+
+/// Shared entry point for the experiment binaries:
+///
+///   int main(int argc, char** argv) {
+///     return frontiers::bench::Main(argc, argv, frontiers::Run);
+///   }
+///
+/// Names the JSON sink after the binary, honors `--trace=<file.json>` by
+/// wrapping the whole run in an obs::TraceSession, and accepts both
+/// `void Run()` and `int Run()` experiment bodies.  Trace-file write errors
+/// go to stderr but do not change the exit code: a bench whose table
+/// printed fine should not fail CI because /tmp filled up.
+template <typename RunFn>
+int Main(int argc, char** argv, RunFn run) {
+  JsonSink::Instance().SetExperiment(ExperimentName(argc > 0 ? argv[0] : ""));
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) trace_path = argv[i] + 8;
+  }
+  if (trace_path != nullptr && *trace_path != '\0') {
+    Status started = obs::TraceSession::Start(trace_path);
+    if (!started.ok()) {
+      std::fprintf(stderr, "[trace] %s\n", started.message().c_str());
+      trace_path = nullptr;
+    }
+  } else {
+    trace_path = nullptr;
+  }
+  int code = 0;
+  if constexpr (std::is_void_v<decltype(run())>) {
+    run();
+  } else {
+    code = run();
+  }
+  if (trace_path != nullptr) {
+    Status stopped = obs::TraceSession::Stop();
+    if (stopped.ok()) {
+      std::printf("[trace] wrote %s\n", trace_path);
+    } else {
+      std::fprintf(stderr, "[trace] %s\n", stopped.message().c_str());
+    }
+  }
+  JsonSink::Instance().Close();
+  return code;
+}
 
 }  // namespace frontiers::bench
 

@@ -15,8 +15,15 @@
 //   rewrite <query>               compute and print the UCQ rewriting
 //   explain <atom>                derivation tree of a chase atom
 //   core                          probe core termination on the instance
+//   .stats                        live metrics-registry snapshot
 //   clear                         reset everything
 //   help / quit
+//
+// Flags:
+//   --trace=<file.json>           record a Chrome trace-event/Perfetto
+//                                 trace of the whole session; written at
+//                                 quit (load in chrome://tracing or
+//                                 https://ui.perfetto.dev)
 
 #include <cstdio>
 #include <iostream>
@@ -28,6 +35,8 @@
 #include "chase/chase.h"
 #include "chase/explain.h"
 #include "hom/query_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "props/termination.h"
 #include "rewriting/rewriter.h"
 #include "tgd/classify.h"
@@ -51,6 +60,7 @@ void CmdChase(Session* session, uint32_t rounds) {
   ChaseResult result = engine.Run(session->facts, options);
   std::printf("Ch_%u has %zu atoms (%s):\n", result.complete_rounds,
               result.facts.size(), ChaseStopName(result.stop));
+  std::printf("  %s\n", result.stats.Summary().c_str());
   for (size_t i = 0; i < result.facts.size() && i < 60; ++i) {
     std::printf("  depth %u: %s\n", result.depth[i],
                 AtomToString(session->vocab, result.facts.atoms()[i]).c_str());
@@ -169,12 +179,30 @@ void Help() {
       "commands: rule <tgd> | facts <atoms> | load-theory <path> |\n"
       "          load-facts <path> | show | classify | chase [rounds] |\n"
       "          ask <query> | rewrite <query> | explain <atom> | core |\n"
-      "          clear | quit\n");
+      "          .stats | clear | quit\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (supported: --trace=<file>)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) {
+    Status started = obs::TraceSession::Start(trace_path);
+    if (!started.ok()) {
+      std::fprintf(stderr, "trace: %s\n", started.message().c_str());
+      return 2;
+    }
+  }
   auto session_ptr = std::make_unique<Session>();
   std::printf("frontiers repl - 'help' for commands\n");
   std::string line;
@@ -246,12 +274,29 @@ int main() {
       CmdExplain(session, rest);
     } else if (command == "core") {
       CmdCore(session);
+    } else if (command == ".stats" || command == "stats") {
+      // Live snapshot of the process-wide metrics registry; counters
+      // accumulate across commands (and across 'clear', deliberately).
+      std::string snapshot = obs::DefaultRegistry().Snapshot().ToString();
+      if (snapshot.empty()) {
+        std::printf("(no metrics recorded yet - run a chase first)\n");
+      } else {
+        std::printf("%s", snapshot.c_str());
+      }
     } else if (command == "clear") {
       session_ptr = std::make_unique<Session>();
       session = session_ptr.get();
       std::printf("cleared\n");
     } else {
       std::printf("unknown command '%s'; try 'help'\n", command.c_str());
+    }
+  }
+  if (obs::TraceSession::Active()) {
+    Status stopped = obs::TraceSession::Stop();
+    if (stopped.ok()) {
+      std::printf("trace written to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: %s\n", stopped.message().c_str());
     }
   }
   return 0;

@@ -13,6 +13,8 @@
 #include "chase/snapshot.h"
 #include "hom/matcher.h"
 #include "hom/structure_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace frontiers {
 
@@ -21,6 +23,48 @@ namespace {
 double Seconds(std::chrono::steady_clock::duration d) {
   return std::chrono::duration_cast<std::chrono::duration<double>>(d).count();
 }
+
+// Registry handles for the chase's metrics, resolved once per process.
+// ChaseStats remains the per-run view of the same quantities; these
+// aggregate across runs/threads under `frontiers.chase.*` (DESIGN.md §7).
+struct ChaseMetrics {
+  obs::Counter& runs;
+  obs::Counter& rounds;
+  obs::Counter& matches;
+  obs::Counter& staged;
+  obs::Counter& committed;
+  obs::Counter& preempted;
+  obs::Counter& deduped;
+  obs::Counter& atoms_inserted;
+  obs::Counter& budget_stops;
+  obs::Gauge& live_bytes;
+  obs::Histogram& match_seconds;
+  obs::Histogram& commit_seconds;
+  obs::Histogram& run_seconds;
+
+  static ChaseMetrics& Get() {
+    static ChaseMetrics* metrics = [] {
+      obs::Registry& reg = obs::DefaultRegistry();
+      const std::vector<double> phase_buckets = {1e-4, 1e-3, 1e-2, 0.1,
+                                                 1.0,  10.0, 100.0};
+      return new ChaseMetrics{
+          reg.GetCounter("frontiers.chase.runs"),
+          reg.GetCounter("frontiers.chase.rounds"),
+          reg.GetCounter("frontiers.chase.matches"),
+          reg.GetCounter("frontiers.chase.staged"),
+          reg.GetCounter("frontiers.chase.committed"),
+          reg.GetCounter("frontiers.chase.preempted"),
+          reg.GetCounter("frontiers.chase.deduped"),
+          reg.GetCounter("frontiers.chase.atoms_inserted"),
+          reg.GetCounter("frontiers.chase.budget_stops"),
+          reg.GetGauge("frontiers.chase.live_bytes"),
+          reg.GetHistogram("frontiers.chase.match_seconds", phase_buckets),
+          reg.GetHistogram("frontiers.chase.commit_seconds", phase_buckets),
+          reg.GetHistogram("frontiers.chase.run_seconds", phase_buckets)};
+    }();
+    return *metrics;
+  }
+};
 
 // --- Approximate live-memory accounting -----------------------------------
 // The byte budget (ChaseOptions::max_bytes) meters the chase's own state
@@ -114,6 +158,47 @@ double ChaseStats::CommitSeconds() const {
   double total = 0;
   for (const ChaseRoundStats& r : rounds) total += r.commit_seconds;
   return total;
+}
+
+uint64_t ChaseStats::TotalInserted() const {
+  uint64_t total = 0;
+  for (const ChaseRoundStats& r : rounds) total += r.atoms_inserted;
+  return total;
+}
+
+double ChaseStats::TotalSeconds() const {
+#ifndef NDEBUG
+  // Phases are sub-intervals of the run, measured with the same steady
+  // clock, so their sum can only exceed the wall time by measurement
+  // granularity.  Tolerance: 1ms absolute plus 1% relative.
+  const double phases = MatchSeconds() + CommitSeconds();
+  FRONTIERS_CHECK(phases <= total_seconds + 1e-3 + 0.01 * total_seconds,
+                  "chase phase times exceed the run wall time: match+commit=" +
+                      std::to_string(phases) +
+                      "s, total=" + std::to_string(total_seconds) + "s");
+#endif
+  return total_seconds;
+}
+
+std::string ChaseStats::Summary() const {
+  const double match = MatchSeconds();
+  const double commit = CommitSeconds();
+  const double total = TotalSeconds();
+  const double other = total > match + commit ? total - match - commit : 0.0;
+  char buffer[256];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "rounds=%zu matches=%llu staged=%llu deduped=%llu committed=%llu "
+      "preempted=%llu inserted=%llu match=%.3fs commit=%.3fs other=%.3fs "
+      "total=%.3fs",
+      rounds.size(), static_cast<unsigned long long>(TotalMatches()),
+      static_cast<unsigned long long>(TotalStaged()),
+      static_cast<unsigned long long>(TotalDeduped()),
+      static_cast<unsigned long long>(TotalCommitted()),
+      static_cast<unsigned long long>(TotalPreempted()),
+      static_cast<unsigned long long>(TotalInserted()), match, commit, other,
+      total);
+  return buffer;
 }
 
 std::string ChaseStats::ToString() const {
@@ -435,6 +520,13 @@ ChaseResult ChaseEngine::Resume(const ChaseSnapshot& snapshot,
 ChaseResult ChaseEngine::RunFromState(RunState state,
                                       const ChaseOptions& options) const {
   using Clock = std::chrono::steady_clock;
+  // Tracing and metrics are pure observation: workers never publish spans
+  // into shared chase state and the registry is write-only here, so the
+  // byte-identity guarantees across thread counts are untouched (asserted
+  // by tests/obs_test.cc).
+  obs::Span run_span("chase.run", "chase");
+  ChaseMetrics& metrics = ChaseMetrics::Get();
+  metrics.runs.Add();
   const Clock::time_point run_start = Clock::now();
   const Clock::time_point deadline_point =
       options.deadline_seconds > 0
@@ -459,7 +551,14 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
     result.stop = stop;
     result.complete_rounds = complete_rounds;
     result.approx_bytes = live_bytes;
-    result.stats.total_seconds += Seconds(Clock::now() - run_start);
+    const double elapsed = Seconds(Clock::now() - run_start);
+    result.stats.total_seconds += elapsed;
+    metrics.run_seconds.Observe(elapsed);
+    metrics.live_bytes.Set(static_cast<double>(live_bytes));
+    if (stop != ChaseStop::kFixpoint && stop != ChaseStop::kRoundBudget) {
+      metrics.budget_stops.Add();
+      obs::TraceInstant(ChaseStopName(stop), "chase");
+    }
     return std::move(result);
   };
 
@@ -486,6 +585,9 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
         return finish(*stop, round);
       }
     }
+    obs::Span round_span("chase.round", "chase");
+    std::optional<obs::Span> phase_span;
+    phase_span.emplace("chase.match", "chase");
     const Clock::time_point match_start = Clock::now();
     ChaseRoundStats round_stats;
     Matcher matcher(vocab_, result.facts);
@@ -588,6 +690,8 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
     // shared Matcher are all frozen until commit.  Each unit writes to its
     // own buffer, so no synchronization beyond the unit counter is needed.
     auto run_unit = [&](const MatchUnit& unit, UnitBuffer& out) {
+      // Per-unit span, recorded into the worker's own trace buffer.
+      obs::Span unit_span("chase.unit", "chase");
       const Tgd& rule = theory_.rules[unit.rule_index];
       uint64_t poll_counter = 0;
       // Returns false to stop the enumeration early (budget trip or
@@ -765,6 +869,7 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
     // Merge per-unit buffers in unit order: this is exactly the order the
     // one-thread engine stages in, so everything downstream (commit order,
     // atom indices, depths, provenance) is thread-count independent.
+    phase_span.emplace("chase.merge", "chase");
     std::vector<StagedApplication> staged;
     size_t total_staged = 0;
     for (const UnitBuffer& buffer : buffers) {
@@ -783,6 +888,7 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
     // ---- Commit the round (sequential) ----------------------------------
     // Never interrupted: budgets may be overshot by at most one round's
     // insertions, in exchange for the state always being a chase stage.
+    phase_span.emplace("chase.commit", "chase");
     const Clock::time_point commit_start = Clock::now();
     if (options.variant == ChaseVariant::kRestricted) {
       // Commit non-inventing (Datalog) applications first: a Datalog atom
@@ -884,7 +990,20 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
       if (atom_budget_hit) break;
     }
     round_stats.commit_seconds = Seconds(Clock::now() - commit_start);
+    phase_span.reset();
     result.stats.rounds.push_back(round_stats);
+
+    // Publish the round to the registry — same numbers as the ChaseStats
+    // compatibility view, aggregated process-wide.
+    metrics.rounds.Add();
+    metrics.matches.Add(round_stats.matches);
+    metrics.staged.Add(round_stats.staged);
+    metrics.committed.Add(round_stats.committed);
+    metrics.preempted.Add(round_stats.preempted);
+    metrics.deduped.Add(round_stats.deduped);
+    metrics.atoms_inserted.Add(round_stats.atoms_inserted);
+    metrics.match_seconds.Observe(round_stats.match_seconds);
+    metrics.commit_seconds.Observe(round_stats.commit_seconds);
 
     if (atom_budget_hit) {
       // The last round is partial: complete_rounds stays at `round`.

@@ -119,6 +119,13 @@ struct ChaseRoundStats {
 };
 
 /// Aggregated statistics of a chase run (one entry per started round).
+///
+/// This is the per-run *compatibility view* of the observability layer
+/// (DESIGN.md §7): every counter and timing here is also published to
+/// `obs::DefaultRegistry()` under `frontiers.chase.*`, where it aggregates
+/// across runs and threads; a `--trace` session additionally records the
+/// same phases as spans.  Callers that only care about one run keep using
+/// this struct unchanged.
 struct ChaseStats {
   std::vector<ChaseRoundStats> rounds;
   /// Wall time of the whole run.
@@ -131,9 +138,23 @@ struct ChaseStats {
   uint64_t TotalDeduped() const;
   double MatchSeconds() const;
   double CommitSeconds() const;
+  uint64_t TotalInserted() const;
+
+  /// Wall time of the whole run.  In debug builds (NDEBUG undefined) this
+  /// checks the phase accounting invariant: the summed match + commit
+  /// phase times never exceed the run's wall time (up to measurement
+  /// slack); the gap is the "other" time Summary() reports (planning,
+  /// merging, governance polls).
+  double TotalSeconds() const;
 
   /// One row per round: `round matches staged committed preempted ...`.
   std::string ToString() const;
+
+  /// One-line run summary — the single formatting point shared by the REPL
+  /// and the bench binaries, e.g.
+  /// `rounds=3 matches=120 staged=80 deduped=10 committed=70 preempted=0
+  ///  inserted=140 match=0.010s commit=0.002s other=0.001s total=0.013s`.
+  std::string Summary() const;
 };
 
 /// Options controlling a chase run.

@@ -6,6 +6,9 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace frontiers {
 
 namespace {
@@ -163,6 +166,7 @@ Result<ChaseSnapshot> MakeSnapshot(const Vocabulary& vocab,
                                    const Theory& theory,
                                    const ChaseResult& result,
                                    const ChaseOptions& options) {
+  obs::Span span("snapshot.make", "snapshot");
   if (!IsResumableStop(result.stop)) {
     return Status::Error(std::string("cannot snapshot a run stopped by '") +
                          ChaseStopName(result.stop) +
@@ -218,6 +222,7 @@ Result<ChaseSnapshot> MakeSnapshot(const Vocabulary& vocab,
 }
 
 std::string EncodeSnapshot(const ChaseSnapshot& snapshot) {
+  obs::Span span("snapshot.encode", "snapshot");
   std::string out;
   out.append(kMagic, sizeof(kMagic));
   PutU16(out, kVersion);
@@ -298,10 +303,17 @@ std::string EncodeSnapshot(const ChaseSnapshot& snapshot) {
   PutU8(out, snapshot.has_filter ? 1 : 0);
   PutString(out, snapshot.theory_name);
   PutU64(out, snapshot.theory_fingerprint);
+  obs::DefaultRegistry()
+      .GetCounter("frontiers.snapshot.encoded_bytes")
+      .Add(out.size());
   return out;
 }
 
 Result<ChaseSnapshot> DecodeSnapshot(std::string_view bytes) {
+  obs::Span span("snapshot.decode", "snapshot");
+  obs::DefaultRegistry()
+      .GetCounter("frontiers.snapshot.decoded_bytes")
+      .Add(bytes.size());
   Reader in;
   in.data = bytes;
   const char* magic = in.Take(sizeof(kMagic));

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace frontiers {
 
 bool UnifyAtomWithFact(const Atom& pattern, const Atom& fact,
@@ -151,6 +154,13 @@ bool Matcher::ForEach(
     const std::vector<Atom>& pattern,
     const std::unordered_set<TermId>& mappable, const Substitution& initial,
     const std::function<bool(const Substitution&)>& callback) const {
+  // A disabled span costs one relaxed load; the counter is one relaxed RMW
+  // on a per-thread shard.  Per-*match* costs stay uninstrumented — the
+  // chase already counts matches per round (ChaseRoundStats::matches).
+  obs::Span span("hom.foreach", "hom");
+  static obs::Counter& enumerations =
+      obs::DefaultRegistry().GetCounter("frontiers.hom.enumerations");
+  enumerations.Add();
   // Ensure unbound mappable terms that never occur in the pattern do not
   // block completion: only pattern terms are assigned; the callback sees
   // exactly the bindings for pattern terms plus `initial`.

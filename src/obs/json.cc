@@ -1,0 +1,259 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace frontiers::obs {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view with a cursor.  Depth-limited
+// so adversarial input (the validator reads arbitrary files) cannot blow
+// the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    Status s = ParseValue(value, 0);
+    if (!s.ok()) return s;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing garbage after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 96;
+
+  Status Error(const std::string& what) const {
+    return Status::Error("json: " + what + " at byte " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return ParseString(out.string);
+      case 't':
+        if (!ConsumeLiteral("true")) return Error("bad literal");
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        return Status::Ok();
+      case 'f':
+        if (!ConsumeLiteral("false")) return Error("bad literal");
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        return Status::Ok();
+      case 'n':
+        if (!ConsumeLiteral("null")) return Error("bad literal");
+        out.type = JsonValue::Type::kNull;
+        return Status::Ok();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) return Status::Ok();
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      std::string key;
+      if (Status s = ParseString(key); !s.ok()) return s;
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      if (Status s = ParseValue(value, depth + 1); !s.ok()) return s;
+      out.object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      JsonValue value;
+      if (Status s = ParseValue(value, depth + 1); !s.ok()) return s;
+      out.array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string& out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Error("bad hex digit in \\u escape");
+            }
+            // UTF-8 encode the code point (surrogate pairs are passed
+            // through unpaired; the validator only needs round-tripping of
+            // the control characters our emitters escape).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Error("bad escape character");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue& out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error("malformed number '" + token + "'");
+    }
+    out.type = JsonValue::Type::kNumber;
+    out.number = parsed;
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace frontiers::obs

@@ -1,0 +1,195 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "base/check.h"
+
+namespace frontiers::obs {
+
+namespace internal {
+
+size_t ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return index;
+}
+
+}  // namespace internal
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const internal::ShardCell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (internal::ShardCell& cell : cells_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::Set(double value) {
+  bits_.store(std::bit_cast<uint64_t>(value), std::memory_order_relaxed);
+}
+
+double Gauge::Value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  FRONTIERS_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+                  "histogram bucket bounds must be ascending");
+  const size_t cells = kMetricShards * (bounds_.size() + 1);
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(cells);
+  sums_ = std::make_unique<std::atomic<uint64_t>[]>(kMetricShards);
+  for (size_t i = 0; i < cells; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < kMetricShards; ++i) {
+    sums_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  // First bound >= value: bucket edges are *inclusive* upper bounds, so an
+  // observation landing exactly on a bound counts in that bound's bucket.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  const size_t shard = internal::ShardIndex();
+  counts_[shard * (bounds_.size() + 1) + bucket].fetch_add(
+      1, std::memory_order_relaxed);
+  std::atomic<uint64_t>& sum = sums_[shard];
+  uint64_t observed = sum.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t updated =
+        std::bit_cast<uint64_t>(std::bit_cast<double>(observed) + value);
+    if (sum.compare_exchange_weak(observed, updated,
+                                  std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+HistogramData Histogram::Data() const {
+  HistogramData data;
+  data.bounds = bounds_;
+  data.counts.assign(bounds_.size() + 1, 0);
+  for (size_t shard = 0; shard < kMetricShards; ++shard) {
+    for (size_t bucket = 0; bucket <= bounds_.size(); ++bucket) {
+      data.counts[bucket] += counts_[shard * (bounds_.size() + 1) + bucket]
+                                 .load(std::memory_order_relaxed);
+    }
+    data.sum += std::bit_cast<double>(
+        sums_[shard].load(std::memory_order_relaxed));
+  }
+  for (const uint64_t c : data.counts) data.total_count += c;
+  return data;
+}
+
+void Histogram::Reset() {
+  const size_t cells = kMetricShards * (bounds_.size() + 1);
+  for (size_t i = 0; i < cells; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < kMetricShards; ++i) {
+    sums_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(line, sizeof(line), "%-44s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(line, sizeof(line), "%-44s %g\n", name.c_str(), value);
+    out += line;
+  }
+  for (const auto& [name, data] : histograms) {
+    std::snprintf(line, sizeof(line), "%-44s count=%llu sum=%g", name.c_str(),
+                  static_cast<unsigned long long>(data.total_count), data.sum);
+    out += line;
+    for (size_t i = 0; i < data.counts.size(); ++i) {
+      if (i < data.bounds.size()) {
+        std::snprintf(line, sizeof(line), " le(%g)=%llu", data.bounds[i],
+                      static_cast<unsigned long long>(data.counts[i]));
+      } else {
+        std::snprintf(line, sizeof(line), " le(inf)=%llu",
+                      static_cast<unsigned long long>(data.counts[i]));
+      }
+      out += line;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name,
+                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace(name, histogram->Data());
+  }
+  return snapshot;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+Registry& DefaultRegistry() {
+  static Registry* registry = new Registry();  // leaked: program-lifetime
+  return *registry;
+}
+
+}  // namespace frontiers::obs

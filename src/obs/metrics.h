@@ -1,0 +1,133 @@
+#ifndef FRONTIERS_OBS_METRICS_H_
+#define FRONTIERS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace frontiers::obs {
+
+/// Number of cache-line-padded shards per metric.  Writers pick a shard by
+/// a thread-local index (assigned once per thread), so distinct threads hit
+/// distinct cache lines in steady state; reads sum all shards.  Writes are
+/// single relaxed atomic RMWs — lock-free and wait-free on x86/ARM.
+inline constexpr size_t kMetricShards = 16;
+
+namespace internal {
+/// The calling thread's shard index (stable for the thread's lifetime).
+size_t ShardIndex();
+
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+}  // namespace internal
+
+/// Monotonic counter.  `Add` is callable from any thread concurrently.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    cells_[internal::ShardIndex()].value.fetch_add(delta,
+                                                   std::memory_order_relaxed);
+  }
+  uint64_t Value() const;
+  void Reset();
+
+ private:
+  internal::ShardCell cells_[kMetricShards];
+};
+
+/// Last-write-wins gauge (e.g. live bytes after a round).  Stored as the
+/// bit pattern of a double in one atomic word; `Set`/`Value` are single
+/// relaxed atomic accesses.
+class Gauge {
+ public:
+  void Set(double value);
+  double Value() const;
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Aggregated histogram state as captured by a snapshot.
+struct HistogramData {
+  /// Upper bounds of the finite buckets, ascending; an implicit +inf
+  /// bucket follows.  `counts.size() == bounds.size() + 1`.
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t total_count = 0;
+  double sum = 0.0;
+};
+
+/// Fixed-bucket histogram.  Bucket `i` counts observations `v <= bounds[i]`
+/// (and greater than the previous bound); the last bucket is +inf.
+/// `Observe` is two relaxed RMWs on the thread's shard.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  void Observe(double value);
+  HistogramData Data() const;
+  void Reset();
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  // Laid out shard-major: shard * (bounds+1) + bucket.
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  // Per-shard sum, accumulated with a CAS loop over double bit patterns
+  // (std::atomic<double>::fetch_add is C++20 but not yet universal).
+  std::unique_ptr<std::atomic<uint64_t>[]> sums_;
+};
+
+/// Point-in-time aggregation of a Registry, with a human-readable
+/// rendering (the REPL's `.stats` command prints exactly this).
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  std::string ToString() const;
+};
+
+/// Named-metric registry.  Metric names follow the convention
+/// `frontiers.<area>.<name>` (DESIGN.md §7).  Get* registers on first use
+/// and returns a reference that stays valid for the registry's lifetime,
+/// so call sites cache it in a local/static and pay zero lookups on the
+/// hot path.  Registration takes a mutex; updates through the returned
+/// handles never do.
+class Registry {
+ public:
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// Registers a histogram with the given finite bucket upper bounds
+  /// (ascending).  Re-registering an existing name ignores `bounds` and
+  /// returns the existing histogram.
+  Histogram& GetHistogram(std::string_view name, std::vector<double> bounds);
+
+  /// Aggregates every metric across shards.  Concurrent updates may or may
+  /// not be included (relaxed reads); the snapshot is internally consistent
+  /// per metric cell, which is all the consumers need.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (handles stay valid).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry the library's own instrumentation writes to
+/// (chase, hom, rewriting, props, snapshot).
+Registry& DefaultRegistry();
+
+}  // namespace frontiers::obs
+
+#endif  // FRONTIERS_OBS_METRICS_H_

@@ -1,0 +1,113 @@
+#ifndef FRONTIERS_OBS_TRACE_H_
+#define FRONTIERS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+
+namespace frontiers::obs {
+
+namespace internal {
+/// The one global "is a trace session running" flag.  A disabled Span costs
+/// exactly one relaxed load of this plus a branch — the overhead budget the
+/// chase's parity guarantees are measured against (DESIGN.md §7).
+extern std::atomic<bool> g_trace_enabled;
+
+/// Monotonic nanoseconds (steady clock).  Only meaningful as differences.
+uint64_t NowNanos();
+
+/// Appends a complete ('X') event to the calling thread's buffer.  `name`
+/// and `category` must be string literals (or otherwise outlive the
+/// session): events store the pointers, not copies.
+void EmitComplete(const char* name, const char* category, uint64_t start_ns,
+                  uint64_t end_ns);
+
+/// Appends an instant ('i') event to the calling thread's buffer.
+void EmitInstant(const char* name, const char* category);
+}  // namespace internal
+
+/// True while a TraceSession is active.  Relaxed: a span racing a session
+/// start/stop is simply missed or dropped, never torn.
+inline bool TracingEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Knobs for a trace session.
+struct TraceOptions {
+  /// Completed spans shorter than this are dropped at emit time.  Keeps
+  /// hot-path spans (per match-unit, per matcher enumeration) from flooding
+  /// the buffers on big workloads; 0 records everything.
+  uint64_t min_duration_us = 0;
+  /// Hard cap per thread buffer; events beyond it are counted as dropped
+  /// (the count is reported on Stop) instead of growing without bound.
+  size_t max_events_per_thread = 1u << 20;
+};
+
+/// A process-global trace session writing Chrome trace-event JSON (the
+/// `{"traceEvents": [...]}` array form), loadable in `chrome://tracing` and
+/// https://ui.perfetto.dev.  At most one session is active at a time.
+///
+/// Worker threads register thread-local buffers on first emit; buffers are
+/// appended to by their owner thread only (one brief uncontended mutex
+/// acquisition per event, so the *enabled* path stays cheap too) and are
+/// flushed into the output file by Stop().  Stop() should be called when
+/// spans are quiescent — the chase joins its workers every round, so any
+/// round boundary qualifies; a span racing Stop() is dropped, never a data
+/// race.  Tracing is pure observation: it never changes chase results,
+/// which tests/obs_test.cc asserts byte-for-byte at several thread counts.
+class TraceSession {
+ public:
+  /// Starts the global session; events buffer until Stop() writes `path`.
+  /// Fails if a session is already active.
+  static Status Start(std::string path, TraceOptions options = {});
+
+  /// Stops the active session and writes the JSON file.  Returns an error
+  /// if no session is active or the file cannot be written.
+  static Status Stop();
+
+  /// True while a session is active (same answer as TracingEnabled()).
+  static bool Active();
+};
+
+/// RAII span: construction records the start time, destruction emits a
+/// complete event covering the scope.  When tracing is disabled the
+/// constructor is a single relaxed atomic load and the destructor a branch
+/// on a bool.  `name`/`category` must be string literals.
+class Span {
+ public:
+  Span(const char* name, const char* category) {
+    if (!TracingEnabled()) return;
+    armed_ = true;
+    name_ = name;
+    category_ = category;
+    start_ns_ = internal::NowNanos();
+  }
+
+  ~Span() {
+    if (armed_) {
+      internal::EmitComplete(name_, category_, start_ns_,
+                             internal::NowNanos());
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+/// Emits a zero-duration instant event (a vertical marker in the viewer),
+/// e.g. a budget trip or a fixpoint.  No-op when tracing is disabled.
+inline void TraceInstant(const char* name, const char* category) {
+  if (TracingEnabled()) internal::EmitInstant(name, category);
+}
+
+}  // namespace frontiers::obs
+
+#endif  // FRONTIERS_OBS_TRACE_H_

@@ -1,6 +1,8 @@
 #include "props/locality.h"
 
 #include "catalog/instances.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace frontiers {
 
@@ -9,6 +11,12 @@ LocalityReport TestLocality(const Vocabulary& vocab, const ChaseEngine& engine,
                             const ChaseOptions& full_options,
                             const ChaseOptions& subset_options) {
   (void)vocab;
+  obs::Span span("props.locality_test", "props");
+  static obs::Counter& tests =
+      obs::DefaultRegistry().GetCounter("frontiers.props.locality_tests");
+  static obs::Counter& subset_chases =
+      obs::DefaultRegistry().GetCounter("frontiers.props.subset_chases");
+  tests.Add();
   LocalityReport report;
   ChaseResult full = engine.Run(db, full_options);
   FactSet reference = full.PrefixAtDepth(full.complete_rounds);
@@ -19,6 +27,7 @@ LocalityReport TestLocality(const Vocabulary& vocab, const ChaseEngine& engine,
   FactSet covered;
   for (const FactSet& subset : SubsetsUpToSize(db, l)) {
     ChaseResult sub = engine.Run(subset, subset_options);
+    subset_chases.Add();
     covered.InsertAll(sub.facts);
   }
   for (const Atom& atom : reference.atoms()) {

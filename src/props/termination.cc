@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "hom/structure_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace frontiers {
 
@@ -11,6 +13,12 @@ CoreTerminationReport TestCoreTermination(const Vocabulary& vocab,
                                           const ChaseEngine& engine,
                                           const FactSet& db,
                                           const ChaseOptions& options) {
+  obs::Span span("props.core_termination", "props");
+  static obs::Counter& tests =
+      obs::DefaultRegistry().GetCounter("frontiers.props.termination_tests");
+  static obs::Counter& core_probes =
+      obs::DefaultRegistry().GetCounter("frontiers.props.core_probes");
+  tests.Add();
   CoreTerminationReport report;
   ChaseResult chase = engine.Run(db, options);
   report.chase_terminated = chase.Terminated();
@@ -18,6 +26,7 @@ CoreTerminationReport TestCoreTermination(const Vocabulary& vocab,
 
   std::unordered_set<TermId> fixed(db.Domain().begin(), db.Domain().end());
   for (uint32_t n = 0; n <= chase.complete_rounds; ++n) {
+    core_probes.Add();
     FactSet stage = chase.PrefixAtDepth(n);
     FactSet retract = CoreRetract(vocab, stage, fixed);
     if (IsModelOf(vocab, retract, engine.theory())) {

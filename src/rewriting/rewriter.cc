@@ -6,6 +6,8 @@
 #include <unordered_set>
 
 #include "hom/query_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tgd/substitution.h"
 
 namespace frontiers {
@@ -67,6 +69,7 @@ Rewriter::Rewriter(Vocabulary& vocab, const Theory& theory)
 
 RewritingResult Rewriter::Rewrite(const ConjunctiveQuery& query,
                                   const RewritingOptions& options) const {
+  obs::Span span("rewriting.rewrite", "rewriting");
   RewritingResult result;
   if (has_multi_head_) {
     result.status = RewritingStatus::kUnsupportedRule;
@@ -344,6 +347,18 @@ RewritingResult Rewriter::Rewrite(const ConjunctiveQuery& query,
   }
   result.status = (drained && !truncated) ? RewritingStatus::kConverged
                                           : RewritingStatus::kBudgetExhausted;
+
+  // Publish run totals under `frontiers.rewriting.*` (DESIGN.md §7).
+  obs::Registry& reg = obs::DefaultRegistry();
+  reg.GetCounter("frontiers.rewriting.runs").Add();
+  reg.GetCounter("frontiers.rewriting.iterations").Add(result.iterations);
+  reg.GetCounter("frontiers.rewriting.candidates")
+      .Add(result.candidates_generated);
+  reg.GetCounter("frontiers.rewriting.disjuncts").Add(result.queries.size());
+  if (result.status == RewritingStatus::kBudgetExhausted) {
+    reg.GetCounter("frontiers.rewriting.budget_exhausted").Add();
+    obs::TraceInstant("rewriting.budget_exhausted", "rewriting");
+  }
   return result;
 }
 

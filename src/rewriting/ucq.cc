@@ -4,6 +4,8 @@
 #include <set>
 
 #include "hom/query_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace frontiers {
 
@@ -15,6 +17,10 @@ size_t Ucq::MaxDisjunctSize() const {
 
 bool Holds(const Vocabulary& vocab, const Ucq& ucq, const FactSet& facts,
            const std::vector<TermId>& answer) {
+  obs::Span span("ucq.holds", "rewriting");
+  static obs::Counter& evaluations =
+      obs::DefaultRegistry().GetCounter("frontiers.ucq.holds");
+  evaluations.Add();
   if (ucq.always_true) return !facts.empty();
   for (const ConjunctiveQuery& q : ucq.disjuncts) {
     if (Holds(vocab, q, facts, answer)) return true;
@@ -30,6 +36,10 @@ bool HoldsBoolean(const Vocabulary& vocab, const Ucq& ucq,
 std::vector<std::vector<TermId>> EvaluateUcq(const Vocabulary& vocab,
                                              const Ucq& ucq,
                                              const FactSet& facts) {
+  obs::Span span("ucq.evaluate", "rewriting");
+  static obs::Counter& evaluations =
+      obs::DefaultRegistry().GetCounter("frontiers.ucq.evaluations");
+  evaluations.Add();
   std::set<std::vector<TermId>> answers;
   for (const ConjunctiveQuery& q : ucq.disjuncts) {
     for (std::vector<TermId>& tuple : EvaluateQuery(vocab, q, facts)) {

@@ -13,6 +13,7 @@
 #include "gaifman/gaifman.h"
 #include "hom/query_ops.h"
 #include "hom/structure_ops.h"
+#include "obs/metrics.h"
 #include "props/bounded_depth.h"
 #include "props/termination.h"
 #include "rewriting/rewriter.h"
@@ -293,6 +294,32 @@ TEST(Exercise46Context, LoopMakesBooleanQueriesTrivial) {
     ASSERT_TRUE(q.ok());
     EXPECT_TRUE(HoldsBoolean(vocab, q.value(), chase.facts)) << text;
   }
+}
+
+// The REPL's `.stats` command prints obs::DefaultRegistry().Snapshot();
+// exercising the library (chase + rewriting, as the commands above do) must
+// leave visible marks there, and the rendering must name them.
+TEST(Observability, ExercisedLibraryWorkShowsUpInDefaultRegistry) {
+  const uint64_t chase_runs_before = obs::DefaultRegistry()
+                                         .Snapshot()
+                                         .counters["frontiers.chase.runs"];
+  Vocabulary vocab;
+  Theory t_a = MotherTheory(vocab);
+  ChaseEngine engine(vocab, t_a);
+  Result<FactSet> db = ParseFacts(vocab, "Human(Abel)");
+  ASSERT_TRUE(db.ok());
+  engine.RunToDepth(db.value(), 4);
+  Rewriter rewriter(vocab, t_a);
+  Result<ConjunctiveQuery> psi = ParseQuery(vocab, "Mother(x,y)");
+  ASSERT_TRUE(psi.ok());
+  rewriter.Rewrite(psi.value());
+
+  obs::MetricsSnapshot after = obs::DefaultRegistry().Snapshot();
+  EXPECT_GT(after.counters["frontiers.chase.runs"], chase_runs_before);
+  EXPECT_GE(after.counters["frontiers.rewriting.runs"], 1u);
+  std::string rendered = after.ToString();
+  EXPECT_NE(rendered.find("frontiers.chase.runs"), std::string::npos);
+  EXPECT_NE(rendered.find("frontiers.rewriting.runs"), std::string::npos);
 }
 
 }  // namespace

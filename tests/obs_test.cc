@@ -1,0 +1,405 @@
+// Tests for the observability subsystem (src/obs): JSON round-tripping,
+// the Chrome trace-event layer, the sharded metrics registry, and — the
+// load-bearing guarantee — that tracing a chase never changes its result.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/vocabulary.h"
+#include "catalog/instances.h"
+#include "catalog/strategies.h"
+#include "catalog/theories.h"
+#include "chase/chase.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace frontiers {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// --- JSON parser -----------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndContainers) {
+  Result<obs::JsonValue> v = obs::ParseJson(
+      R"({"a": [1, 2.5, -3e2], "b": "x\nyA", "c": true, "d": null})");
+  ASSERT_TRUE(v.ok()) << v.message();
+  const obs::JsonValue& root = v.value();
+  ASSERT_TRUE(root.IsObject());
+  const obs::JsonValue* a = root.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->IsArray());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(a->array[2].number, -300.0);
+  const obs::JsonValue* b = root.Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->string, "x\nyA");
+  EXPECT_TRUE(root.Find("c")->boolean);
+  EXPECT_TRUE(root.Find("d")->IsNull());
+  EXPECT_EQ(root.Find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "1 2",
+                          "\"unterminated", "{\"a\":1,}"}) {
+    EXPECT_FALSE(obs::ParseJson(bad).ok()) << bad;
+  }
+}
+
+TEST(Json, EscapeRoundTripsThroughParser) {
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t bell\x07";
+  std::string doc = "{\"k\":\"" + obs::JsonEscape(nasty) + "\"}";
+  Result<obs::JsonValue> v = obs::ParseJson(doc);
+  ASSERT_TRUE(v.ok()) << v.message();
+  EXPECT_EQ(v.value().Find("k")->string, nasty);
+}
+
+// --- trace layer -----------------------------------------------------------
+
+TEST(Trace, DisabledByDefault) {
+  EXPECT_FALSE(obs::TracingEnabled());
+  EXPECT_FALSE(obs::TraceSession::Active());
+  // Spans and instants outside a session are no-ops, not errors.
+  obs::Span span("no-session", "test");
+  obs::TraceInstant("no-session", "test");
+  EXPECT_FALSE(obs::TraceSession::Stop().ok());
+}
+
+TEST(Trace, NestedAndThreadedSpansProduceValidChromeJson) {
+  const std::string path = testing::TempDir() + "obs_trace_test.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(obs::TraceSession::Start(path).ok());
+  ASSERT_TRUE(obs::TraceSession::Active());
+  EXPECT_FALSE(obs::TraceSession::Start(path).ok()) << "one session at a time";
+  {
+    obs::Span outer("outer", "test");
+    {
+      obs::Span inner("inner", "test");
+    }
+    obs::TraceInstant("marker", "test");
+  }
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        obs::Span span("worker", "test");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  ASSERT_TRUE(obs::TraceSession::Stop().ok());
+  EXPECT_FALSE(obs::TracingEnabled());
+
+  Result<obs::JsonValue> parsed = obs::ParseJson(ReadAll(path));
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  const obs::JsonValue* events = parsed.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->IsArray());
+
+  size_t outer_count = 0, worker_count = 0, marker_count = 0;
+  double outer_start = 0, outer_end = 0, inner_start = 0, inner_end = 0;
+  for (const obs::JsonValue& event : events->array) {
+    ASSERT_TRUE(event.IsObject());
+    for (const char* key : {"name", "ph", "pid", "tid"}) {
+      EXPECT_TRUE(event.Has(key)) << "event missing " << key;
+    }
+    const std::string& ph = event.Find("ph")->string;
+    if (ph == "M") continue;  // process_name metadata
+    ASSERT_TRUE(event.Has("ts"));
+    EXPECT_GE(event.Find("ts")->number, 0.0) << "timestamps are rebased";
+    const std::string& name = event.Find("name")->string;
+    if (ph == "X") {
+      ASSERT_TRUE(event.Has("dur"));
+      EXPECT_GE(event.Find("dur")->number, 0.0);
+      double start = event.Find("ts")->number;
+      double end = start + event.Find("dur")->number;
+      if (name == "outer") {
+        ++outer_count;
+        outer_start = start;
+        outer_end = end;
+      } else if (name == "inner") {
+        inner_start = start;
+        inner_end = end;
+      } else if (name == "worker") {
+        ++worker_count;
+      }
+    } else {
+      ASSERT_EQ(ph, "i");
+      if (name == "marker") ++marker_count;
+    }
+  }
+  EXPECT_EQ(outer_count, 1u);
+  EXPECT_EQ(worker_count, size_t{kThreads} * kSpansPerThread);
+  EXPECT_EQ(marker_count, 1u);
+  // RAII nesting shows up as interval containment.
+  EXPECT_LE(outer_start, inner_start);
+  EXPECT_GE(outer_end, inner_end);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, MinDurationFilterDropsShortSpans) {
+  const std::string path = testing::TempDir() + "obs_trace_filter.json";
+  std::remove(path.c_str());
+  obs::TraceOptions options;
+  options.min_duration_us = 60'000'000;  // one minute: drops everything
+  ASSERT_TRUE(obs::TraceSession::Start(path, options).ok());
+  for (int i = 0; i < 100; ++i) {
+    obs::Span span("short", "test");
+  }
+  obs::TraceInstant("kept", "test");  // instants bypass the filter
+  ASSERT_TRUE(obs::TraceSession::Stop().ok());
+  Result<obs::JsonValue> parsed = obs::ParseJson(ReadAll(path));
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  size_t spans = 0, instants = 0;
+  for (const obs::JsonValue& event :
+       parsed.value().Find("traceEvents")->array) {
+    const std::string& ph = event.Find("ph")->string;
+    if (ph == "X") ++spans;
+    if (ph == "i") ++instants;
+  }
+  EXPECT_EQ(spans, 0u);
+  EXPECT_EQ(instants, 1u);
+  std::remove(path.c_str());
+}
+
+// --- metrics registry ------------------------------------------------------
+
+TEST(Metrics, CounterAggregatesAcrossThreadsLikeSerialOracle) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.GetCounter("test.adds");
+  obs::Counter& weighted = registry.GetCounter("test.weighted");
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20'000;
+  // Serial oracle.
+  uint64_t oracle_adds = 0, oracle_weighted = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kIterations; ++i) {
+      oracle_adds += 1;
+      oracle_weighted += static_cast<uint64_t>(i % 7);
+    }
+  }
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter, &weighted] {
+      for (int i = 0; i < kIterations; ++i) {
+        counter.Add();
+        weighted.Add(static_cast<uint64_t>(i % 7));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(counter.Value(), oracle_adds);
+  EXPECT_EQ(weighted.Value(), oracle_weighted);
+
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("test.adds"), oracle_adds);
+  EXPECT_EQ(snapshot.counters.at("test.weighted"), oracle_weighted);
+
+  registry.Reset();
+  EXPECT_EQ(counter.Value(), 0u) << "handles survive Reset()";
+  counter.Add(5);
+  EXPECT_EQ(counter.Value(), 5u);
+}
+
+TEST(Metrics, GetReturnsSameHandleAndGaugeStoresDoubles) {
+  obs::Registry registry;
+  EXPECT_EQ(&registry.GetCounter("same"), &registry.GetCounter("same"));
+  obs::Gauge& gauge = registry.GetGauge("test.gauge");
+  gauge.Set(3.25);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 3.25);
+  gauge.Set(-0.5);
+  EXPECT_DOUBLE_EQ(registry.Snapshot().gauges.at("test.gauge"), -0.5);
+}
+
+TEST(Metrics, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  obs::Registry registry;
+  obs::Histogram& hist =
+      registry.GetHistogram("test.hist", {1.0, 2.0, 4.0});
+  // One observation per interesting position: below, exactly on each
+  // bound, between bounds, above the last bound.
+  for (double v : {0.5, 1.0, 1.5, 2.0, 4.0, 5.0}) hist.Observe(v);
+  obs::HistogramData data = hist.Data();
+  ASSERT_EQ(data.bounds.size(), 3u);
+  ASSERT_EQ(data.counts.size(), 4u);
+  EXPECT_EQ(data.counts[0], 2u);  // 0.5, 1.0   (v <= 1)
+  EXPECT_EQ(data.counts[1], 2u);  // 1.5, 2.0   (1 < v <= 2)
+  EXPECT_EQ(data.counts[2], 1u);  // 4.0        (2 < v <= 4)
+  EXPECT_EQ(data.counts[3], 1u);  // 5.0        (v > 4)
+  EXPECT_EQ(data.total_count, 6u);
+  EXPECT_DOUBLE_EQ(data.sum, 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 5.0);
+}
+
+TEST(Metrics, HistogramConcurrentObservationsMatchSerialOracle) {
+  obs::Registry registry;
+  obs::Histogram& hist = registry.GetHistogram("test.conc", {0.25, 0.5, 0.75});
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 10'000;
+  uint64_t oracle_counts[4] = {0, 0, 0, 0};
+  double oracle_sum = 0.0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kIterations; ++i) {
+      double v = static_cast<double>(i % 100) / 100.0;
+      oracle_sum += v;
+      if (v <= 0.25) {
+        ++oracle_counts[0];
+      } else if (v <= 0.5) {
+        ++oracle_counts[1];
+      } else if (v <= 0.75) {
+        ++oracle_counts[2];
+      } else {
+        ++oracle_counts[3];
+      }
+    }
+  }
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&hist] {
+      for (int i = 0; i < kIterations; ++i) {
+        hist.Observe(static_cast<double>(i % 100) / 100.0);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  obs::HistogramData data = hist.Data();
+  for (size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(data.counts[b], oracle_counts[b]) << "bucket " << b;
+  }
+  EXPECT_EQ(data.total_count, uint64_t{kThreads} * kIterations);
+  EXPECT_NEAR(data.sum, oracle_sum, 1e-6 * oracle_sum);
+}
+
+TEST(Metrics, SnapshotToStringNamesEveryMetric) {
+  obs::Registry registry;
+  registry.GetCounter("test.c").Add(7);
+  registry.GetGauge("test.g").Set(1.5);
+  registry.GetHistogram("test.h", {1.0}).Observe(0.5);
+  std::string text = registry.Snapshot().ToString();
+  for (const char* needle : {"test.c", "test.g", "test.h", "7"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle << "\n" << text;
+  }
+}
+
+// --- tracing is pure observation ------------------------------------------
+
+// The acceptance bar for the whole subsystem: a traced chase is
+// byte-identical (atom order, TermIds via atom equality, depths, rounds)
+// to the untraced chase at every thread count.
+TEST(Parity, TracedChaseIsByteIdenticalToUntraced) {
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    auto run = [threads](bool traced) {
+      Vocabulary vocab;
+      Theory td = TdTheory(vocab);
+      FactSet db = EdgePath(vocab, "G", 12, "a");
+      ChaseOptions options;
+      options.max_rounds = 24;
+      options.max_atoms = 500'000;
+      options.threads = threads;
+      options.filter = TdWitnessStrategy(vocab, td);
+      ChaseEngine engine(vocab, td);
+      const std::string path = testing::TempDir() + "obs_parity_" +
+                               std::to_string(threads) + ".json";
+      if (traced) {
+        EXPECT_TRUE(obs::TraceSession::Start(path).ok());
+      }
+      ChaseResult result = engine.Run(db, options);
+      if (traced) {
+        EXPECT_TRUE(obs::TraceSession::Stop().ok());
+        // The trace must also be valid Chrome JSON with chase phases in it.
+        Result<obs::JsonValue> parsed = obs::ParseJson(ReadAll(path));
+        EXPECT_TRUE(parsed.ok()) << parsed.message();
+        if (parsed.ok()) {
+          bool saw_round = false;
+          for (const obs::JsonValue& event :
+               parsed.value().Find("traceEvents")->array) {
+            if (event.Find("name")->string == "chase.round") saw_round = true;
+          }
+          EXPECT_TRUE(saw_round);
+        }
+        std::remove(path.c_str());
+      }
+      return result;
+    };
+    ChaseResult untraced = run(false);
+    ChaseResult traced = run(true);
+    ASSERT_FALSE(untraced.facts.atoms().empty());
+    EXPECT_EQ(traced.facts.atoms(), untraced.facts.atoms())
+        << "threads=" << threads;
+    EXPECT_EQ(traced.depth, untraced.depth) << "threads=" << threads;
+    EXPECT_EQ(traced.complete_rounds, untraced.complete_rounds);
+    EXPECT_EQ(traced.stop, untraced.stop);
+  }
+}
+
+// The chase publishes its per-run stats into the process-wide registry
+// (the compatibility view the REPL's `.stats` command prints).
+TEST(Parity, ChaseWorkIsVisibleInDefaultRegistry) {
+  obs::MetricsSnapshot before = obs::DefaultRegistry().Snapshot();
+  auto counter = [](const obs::MetricsSnapshot& snapshot, const char* name) {
+    auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? uint64_t{0} : it->second;
+  };
+  Vocabulary vocab;
+  Theory td = TdTheory(vocab);
+  FactSet db = EdgePath(vocab, "G", 6, "a");
+  ChaseOptions options;
+  options.max_rounds = 10;
+  options.max_atoms = 100'000;
+  options.filter = TdWitnessStrategy(vocab, td);
+  ChaseEngine engine(vocab, td);
+  ChaseResult result = engine.Run(db, options);
+  obs::MetricsSnapshot after = obs::DefaultRegistry().Snapshot();
+  EXPECT_EQ(counter(after, "frontiers.chase.runs"),
+            counter(before, "frontiers.chase.runs") + 1);
+  EXPECT_EQ(counter(after, "frontiers.chase.rounds"),
+            counter(before, "frontiers.chase.rounds") + result.stats.rounds.size());
+  EXPECT_EQ(counter(after, "frontiers.chase.committed"),
+            counter(before, "frontiers.chase.committed") +
+                result.stats.TotalCommitted());
+  EXPECT_EQ(counter(after, "frontiers.chase.atoms_inserted"),
+            counter(before, "frontiers.chase.atoms_inserted") +
+                result.stats.TotalInserted());
+  // The phase histograms saw one run's worth of rounds.
+  auto hist = after.histograms.find("frontiers.chase.match_seconds");
+  ASSERT_NE(hist, after.histograms.end());
+  EXPECT_GE(hist->second.total_count, result.stats.rounds.size());
+}
+
+// ChaseStats::Summary() is the shared human-readable line (REPL + benches).
+TEST(Parity, ChaseStatsSummaryMentionsEveryPhase) {
+  Vocabulary vocab;
+  Theory td = TdTheory(vocab);
+  FactSet db = EdgePath(vocab, "G", 4, "a");
+  ChaseOptions options;
+  options.max_rounds = 8;
+  options.max_atoms = 100'000;
+  options.filter = TdWitnessStrategy(vocab, td);
+  ChaseEngine engine(vocab, td);
+  ChaseResult result = engine.Run(db, options);
+  std::string summary = result.stats.Summary();
+  for (const char* needle : {"rounds=", "matches=", "committed=", "match=",
+                             "commit=", "total="}) {
+    EXPECT_NE(summary.find(needle), std::string::npos)
+        << needle << " missing from: " << summary;
+  }
+  // TotalSeconds() runs the debug phase-accounting check.
+  EXPECT_GE(result.stats.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace frontiers

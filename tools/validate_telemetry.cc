@@ -1,0 +1,185 @@
+// Telemetry validator used by CI (and handy locally): checks that the two
+// machine-readable artifacts the observability layer emits are well-formed
+// without needing a browser or an external JSON tool.
+//
+//   validate_telemetry --trace <file.json>   Chrome trace-event file
+//   validate_telemetry --bench <file.json>   bench JSONL rows
+//
+// Exit code 0 means every check passed; any malformed file, event, or row
+// exits 1 with a message naming the offending line/event.  The parser is
+// the repo's own (src/obs/json.h) — validating our output with our reader
+// also keeps the round-trip honest.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace frontiers {
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// --trace: the file must be one JSON object with a "traceEvents" array;
+// every event needs name/ph/pid/tid, every non-metadata event needs ts,
+// and complete ('X') events need dur.
+int ValidateTrace(const std::string& path) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "trace: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  Result<obs::JsonValue> parsed = obs::ParseJson(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "trace: %s: %s\n", path.c_str(),
+                 parsed.message().c_str());
+    return 1;
+  }
+  const obs::JsonValue& root = parsed.value();
+  if (!root.IsObject()) {
+    std::fprintf(stderr, "trace: %s: top level is not an object\n",
+                 path.c_str());
+    return 1;
+  }
+  const obs::JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->IsArray()) {
+    std::fprintf(stderr, "trace: %s: missing traceEvents array\n",
+                 path.c_str());
+    return 1;
+  }
+  size_t spans = 0, instants = 0, metadata = 0;
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const obs::JsonValue& event = events->array[i];
+    auto fail = [&](const char* what) {
+      std::fprintf(stderr, "trace: %s: event %zu: %s\n", path.c_str(), i,
+                   what);
+      return 1;
+    };
+    if (!event.IsObject()) return fail("not an object");
+    const obs::JsonValue* name = event.Find("name");
+    if (name == nullptr || !name->IsString()) return fail("missing name");
+    const obs::JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || !ph->IsString()) return fail("missing ph");
+    if (!event.Has("pid") || !event.Has("tid")) {
+      return fail("missing pid/tid");
+    }
+    if (ph->string == "M") {
+      ++metadata;
+      continue;
+    }
+    const obs::JsonValue* ts = event.Find("ts");
+    if (ts == nullptr || !ts->IsNumber()) return fail("missing ts");
+    if (ph->string == "X") {
+      const obs::JsonValue* dur = event.Find("dur");
+      if (dur == nullptr || !dur->IsNumber()) return fail("X without dur");
+      if (dur->number < 0) return fail("negative dur");
+      ++spans;
+    } else if (ph->string == "i") {
+      ++instants;
+    } else {
+      return fail("unexpected ph (want X, i, or M)");
+    }
+  }
+  std::printf("trace: %s ok (%zu spans, %zu instants, %zu metadata)\n",
+              path.c_str(), spans, instants, metadata);
+  return 0;
+}
+
+// --bench: one JSON object per line, each carrying the frontiers-bench-v1
+// envelope (schema/experiment/build/section/params/counters/seconds/budget).
+int ValidateBench(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::string line;
+  size_t line_no = 0, rows = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fail = [&](const std::string& what) {
+      std::fprintf(stderr, "bench: %s:%zu: %s\n", path.c_str(), line_no,
+                   what.c_str());
+      return 1;
+    };
+    Result<obs::JsonValue> parsed = obs::ParseJson(line);
+    if (!parsed.ok()) return fail(parsed.message());
+    const obs::JsonValue& row = parsed.value();
+    if (!row.IsObject()) return fail("row is not an object");
+    const obs::JsonValue* schema = row.Find("schema");
+    if (schema == nullptr || !schema->IsString()) {
+      return fail("missing schema");
+    }
+    if (schema->string != "frontiers-bench-v1") {
+      return fail("unknown schema '" + schema->string + "'");
+    }
+    for (const char* key : {"experiment", "build", "section"}) {
+      const obs::JsonValue* value = row.Find(key);
+      if (value == nullptr || !value->IsString()) {
+        return fail(std::string("missing string field '") + key + "'");
+      }
+    }
+    for (const char* key : {"params", "counters", "seconds"}) {
+      const obs::JsonValue* value = row.Find(key);
+      if (value == nullptr || !value->IsObject()) {
+        return fail(std::string("missing object field '") + key + "'");
+      }
+    }
+    const obs::JsonValue* budget = row.Find("budget");
+    if (budget == nullptr || (!budget->IsNull() && !budget->IsString())) {
+      return fail("budget must be null or a string");
+    }
+    ++rows;
+  }
+  if (rows == 0) {
+    std::fprintf(stderr, "bench: %s: no rows\n", path.c_str());
+    return 1;
+  }
+  std::printf("bench: %s ok (%zu rows)\n", path.c_str(), rows);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: validate_telemetry --trace <file.json> ...\n"
+               "       validate_telemetry --bench <file.json> ...\n"
+               "Modes may be mixed; every named file must validate.\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace frontiers
+
+int main(int argc, char** argv) {
+  if (argc < 3) return frontiers::Usage();
+  int failures = 0;
+  const char* mode = nullptr;
+  int files = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 ||
+        std::strcmp(argv[i], "--bench") == 0) {
+      mode = argv[i];
+      continue;
+    }
+    if (mode == nullptr) return frontiers::Usage();
+    ++files;
+    if (std::strcmp(mode, "--trace") == 0) {
+      failures += frontiers::ValidateTrace(argv[i]);
+    } else {
+      failures += frontiers::ValidateBench(argv[i]);
+    }
+  }
+  if (files == 0) return frontiers::Usage();
+  return failures == 0 ? 0 : 1;
+}
