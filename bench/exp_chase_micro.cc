@@ -102,16 +102,46 @@ void BM_Example39Chase(benchmark::State& state) {
 }
 BENCHMARK(BM_Example39Chase)->Arg(3)->Arg(4)->Arg(5);
 
+// Console reporter that additionally emits one frontiers-bench-v1 JSONL
+// row per measured run (through bench/report.h's JsonSink, so only when
+// FRONTIERS_BENCH_JSON is set).  This is what lets tools/bench_diff compare
+// two micro-bench runs: the row's `name` param is the join key and the
+// per-iteration real/cpu times land in `seconds`.
+class JsonlReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iterations =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      bench::JsonRow row;
+      row.Param("name", run.benchmark_name());
+      row.Counter("iterations", static_cast<uint64_t>(run.iterations));
+      row.Seconds("real_time", run.real_accumulated_time / iterations);
+      row.Seconds("cpu_time", run.cpu_accumulated_time / iterations);
+      for (const auto& [name, counter] : run.counters) {
+        row.Counter(name, static_cast<uint64_t>(counter.value));
+      }
+      row.Emit();
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+};
+
 }  // namespace
 }  // namespace frontiers
 
 // Hand-expanded BENCHMARK_MAIN() routed through bench::Main so this binary
-// honors --trace=<file.json> like the table-style experiments.  The flag is
-// stripped before benchmark::Initialize, which would otherwise reject it.
+// honors --trace=/--profile=/--metrics= like the table-style experiments.
+// Those flags are stripped before benchmark::Initialize, which would
+// otherwise reject them.
 int main(int argc, char** argv) {
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
-    if (std::string_view(argv[i]).rfind("--trace=", 0) != 0 || i == 0) {
+    const std::string_view arg = argv[i];
+    if (i == 0 || (arg.rfind("--trace=", 0) != 0 &&
+                   arg.rfind("--profile=", 0) != 0 &&
+                   arg.rfind("--metrics=", 0) != 0)) {
       bench_argv.push_back(argv[i]);
     }
   }
@@ -122,7 +152,8 @@ int main(int argc, char** argv) {
                                                bench_argv.data())) {
       return 1;
     }
-    benchmark::RunSpecifiedBenchmarks();
+    frontiers::JsonlReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
     return 0;
   });

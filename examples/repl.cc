@@ -16,6 +16,7 @@
 //   explain <atom>                derivation tree of a chase atom
 //   core                          probe core termination on the instance
 //   .stats                        live metrics-registry snapshot
+//   .metrics <file>               dump the registry snapshot as JSON
 //   clear                         reset everything
 //   help / quit
 //
@@ -24,6 +25,9 @@
 //                                 trace of the whole session; written at
 //                                 quit (load in chrome://tracing or
 //                                 https://ui.perfetto.dev)
+//   --profile=<file>              profile the whole session; the report is
+//                                 written to <file> at quit, its folded-
+//                                 stack flamegraph form to <file>.folded
 
 #include <cstdio>
 #include <iostream>
@@ -36,6 +40,7 @@
 #include "chase/explain.h"
 #include "hom/query_ops.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "props/termination.h"
 #include "rewriting/rewriter.h"
@@ -179,19 +184,24 @@ void Help() {
       "commands: rule <tgd> | facts <atoms> | load-theory <path> |\n"
       "          load-facts <path> | show | classify | chase [rounds] |\n"
       "          ask <query> | rewrite <query> | explain <atom> | core |\n"
-      "          .stats | clear | quit\n");
+      "          .stats | .metrics <file> | clear | quit\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_path;
+  std::string profile_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(8);
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile_path = arg.substr(10);
     } else {
-      std::fprintf(stderr, "unknown flag '%s' (supported: --trace=<file>)\n",
+      std::fprintf(stderr,
+                   "unknown flag '%s' (supported: --trace=<file>, "
+                   "--profile=<file>)\n",
                    arg.c_str());
       return 2;
     }
@@ -200,6 +210,13 @@ int main(int argc, char** argv) {
     Status started = obs::TraceSession::Start(trace_path);
     if (!started.ok()) {
       std::fprintf(stderr, "trace: %s\n", started.message().c_str());
+      return 2;
+    }
+  }
+  if (!profile_path.empty()) {
+    Status started = obs::ProfileSession::Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "profile: %s\n", started.message().c_str());
       return 2;
     }
   }
@@ -283,12 +300,58 @@ int main(int argc, char** argv) {
       } else {
         std::printf("%s", snapshot.c_str());
       }
+    } else if (command == ".metrics" || command == "metrics") {
+      // Same snapshot as .stats, but machine-readable, to a file.
+      if (rest.empty()) {
+        std::printf("usage: .metrics <file>\n");
+      } else {
+        std::FILE* out = std::fopen(rest.c_str(), "w");
+        if (out == nullptr) {
+          std::printf("cannot open '%s' for writing\n", rest.c_str());
+        } else {
+          const std::string json = obs::DefaultRegistry().Snapshot().ToJson();
+          std::fwrite(json.data(), 1, json.size(), out);
+          if (std::fclose(out) == 0) {
+            std::printf("metrics written to %s\n", rest.c_str());
+          } else {
+            std::printf("error writing '%s'\n", rest.c_str());
+          }
+        }
+      }
     } else if (command == "clear") {
       session_ptr = std::make_unique<Session>();
       session = session_ptr.get();
       std::printf("cleared\n");
     } else {
       std::printf("unknown command '%s'; try 'help'\n", command.c_str());
+    }
+  }
+  if (obs::ProfileSession::Active()) {
+    Result<obs::ProfileReport> report = obs::ProfileSession::Stop();
+    if (!report.ok()) {
+      std::fprintf(stderr, "profile: %s\n", report.message().c_str());
+    } else {
+      bool wrote = false;
+      if (std::FILE* out = std::fopen(profile_path.c_str(), "w")) {
+        const std::string text = report.value().ToString();
+        std::fwrite(text.data(), 1, text.size(), out);
+        wrote = std::fclose(out) == 0;
+      }
+      const std::string folded_path = profile_path + ".folded";
+      if (std::FILE* out = std::fopen(folded_path.c_str(), "w")) {
+        const std::string text = report.value().ToFolded();
+        std::fwrite(text.data(), 1, text.size(), out);
+        wrote = (std::fclose(out) == 0) && wrote;
+      } else {
+        wrote = false;
+      }
+      if (wrote) {
+        std::printf("profile written to %s and %s\n", profile_path.c_str(),
+                    folded_path.c_str());
+      } else {
+        std::fprintf(stderr, "profile: cannot write %s\n",
+                     profile_path.c_str());
+      }
     }
   }
   if (obs::TraceSession::Active()) {

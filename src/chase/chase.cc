@@ -107,6 +107,43 @@ const char* ChaseStopName(ChaseStop stop) {
   return "?";
 }
 
+std::string ChaseHeartbeat::ToJsonLine() const {
+  char buffer[256];
+  std::string line;
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"schema\":\"frontiers-heartbeat-v1\",\"round\":%u,\"facts\":%llu,"
+      "\"facts_per_sec\":%.6g,\"bytes\":%llu,\"elapsed_seconds\":%.6f",
+      round, static_cast<unsigned long long>(facts), facts_per_second,
+      static_cast<unsigned long long>(bytes), elapsed_seconds);
+  line = buffer;
+  if (budget_remaining_seconds >= 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\"budget_remaining_seconds\":%.6f",
+                  budget_remaining_seconds);
+    line += buffer;
+  } else {
+    line += ",\"budget_remaining_seconds\":null";
+  }
+  if (eta_seconds >= 0) {
+    std::snprintf(buffer, sizeof(buffer), ",\"eta_seconds\":%.6f",
+                  eta_seconds);
+    line += buffer;
+  } else {
+    line += ",\"eta_seconds\":null";
+  }
+  if (stop != nullptr) {
+    // Stop names are fixed lowercase literals (ChaseStopName); no escaping.
+    line += ",\"stop\":\"";
+    line += stop;
+    line += "\"";
+  } else {
+    line += ",\"stop\":null";
+  }
+  line += "}";
+  return line;
+}
+
 bool IsResumableStop(ChaseStop stop) {
   // kAtomBudget is enforced per inserted atom and may truncate a round
   // mid-head; every other stop lands on a round boundary.
@@ -547,6 +584,68 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
   const bool governed = options.deadline_seconds > 0 ||
                         options.max_bytes > 0 || options.cancel != nullptr;
 
+#ifndef NDEBUG
+  // Registry-vs-stats consistency: everything this call adds to the
+  // `frontiers.chase.*` counters must equal what it appends to
+  // `result.stats` — the two reporting paths promise the same numbers
+  // (DESIGN.md §7), and this check makes a silent divergence (a counter
+  // bumped without its stats twin, or vice versa) a debug-build abort.
+  struct PublishedTotals {
+    uint64_t rounds = 0, matches = 0, staged = 0, committed = 0,
+             preempted = 0, deduped = 0, inserted = 0;
+  } published;
+  const PublishedTotals stats_base = {result.stats.rounds.size(),
+                                      result.stats.TotalMatches(),
+                                      result.stats.TotalStaged(),
+                                      result.stats.TotalCommitted(),
+                                      result.stats.TotalPreempted(),
+                                      result.stats.TotalDeduped(),
+                                      result.stats.TotalInserted()};
+#endif
+
+  // --- Heartbeat plumbing --------------------------------------------------
+  // Heartbeats run on the calling thread at round boundaries only, reading
+  // committed state; they are pure observation like tracing and profiling.
+  const bool heartbeat_on = options.heartbeat_seconds > 0;
+  const Clock::duration heartbeat_interval =
+      heartbeat_on ? std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             options.heartbeat_seconds))
+                   : Clock::duration::zero();
+  Clock::time_point next_heartbeat = run_start + heartbeat_interval;
+  Clock::time_point last_heartbeat_time = run_start;
+  uint64_t last_heartbeat_facts = result.facts.size();
+  auto emit_heartbeat = [&](uint32_t completed_rounds,
+                            const char* stop_name) {
+    const Clock::time_point now = Clock::now();
+    ChaseHeartbeat hb;
+    hb.round = completed_rounds;
+    hb.facts = result.facts.size();
+    const double dt = Seconds(now - last_heartbeat_time);
+    hb.facts_per_second =
+        dt > 0 ? static_cast<double>(hb.facts - last_heartbeat_facts) / dt
+               : 0.0;
+    hb.bytes = live_bytes;
+    hb.elapsed_seconds = Seconds(now - run_start);
+    if (options.deadline_seconds > 0) {
+      hb.budget_remaining_seconds =
+          std::max(0.0, options.deadline_seconds - hb.elapsed_seconds);
+    }
+    if (hb.facts_per_second > 0 && options.max_atoms > hb.facts) {
+      hb.eta_seconds =
+          static_cast<double>(options.max_atoms - hb.facts) /
+          hb.facts_per_second;
+    }
+    hb.stop = stop_name;
+    if (options.heartbeat_sink) {
+      options.heartbeat_sink(hb);
+    } else {
+      std::fprintf(stderr, "%s\n", hb.ToJsonLine().c_str());
+    }
+    last_heartbeat_time = now;
+    last_heartbeat_facts = hb.facts;
+  };
+
   auto finish = [&](ChaseStop stop, uint32_t complete_rounds) {
     result.stop = stop;
     result.complete_rounds = complete_rounds;
@@ -559,6 +658,25 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
       metrics.budget_stops.Add();
       obs::TraceInstant(ChaseStopName(stop), "chase");
     }
+    if (heartbeat_on) emit_heartbeat(complete_rounds, ChaseStopName(stop));
+#ifndef NDEBUG
+    FRONTIERS_CHECK(
+        published.rounds == result.stats.rounds.size() - stats_base.rounds &&
+            published.matches ==
+                result.stats.TotalMatches() - stats_base.matches &&
+            published.staged ==
+                result.stats.TotalStaged() - stats_base.staged &&
+            published.committed ==
+                result.stats.TotalCommitted() - stats_base.committed &&
+            published.preempted ==
+                result.stats.TotalPreempted() - stats_base.preempted &&
+            published.deduped ==
+                result.stats.TotalDeduped() - stats_base.deduped &&
+            published.inserted ==
+                result.stats.TotalInserted() - stats_base.inserted,
+        "frontiers.chase.* registry counters diverged from ChaseStats: the "
+        "per-round publication and the per-run stats no longer agree");
+#endif
     return std::move(result);
   };
 
@@ -584,6 +702,10 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
       if (std::optional<ChaseStop> stop = boundary_stop()) {
         return finish(*stop, round);
       }
+    }
+    if (heartbeat_on && Clock::now() >= next_heartbeat) {
+      emit_heartbeat(round, nullptr);
+      next_heartbeat = Clock::now() + heartbeat_interval;
     }
     obs::Span round_span("chase.round", "chase");
     std::optional<obs::Span> phase_span;
@@ -1004,6 +1126,15 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
     metrics.atoms_inserted.Add(round_stats.atoms_inserted);
     metrics.match_seconds.Observe(round_stats.match_seconds);
     metrics.commit_seconds.Observe(round_stats.commit_seconds);
+#ifndef NDEBUG
+    published.rounds += 1;
+    published.matches += round_stats.matches;
+    published.staged += round_stats.staged;
+    published.committed += round_stats.committed;
+    published.preempted += round_stats.preempted;
+    published.deduped += round_stats.deduped;
+    published.inserted += round_stats.atoms_inserted;
+#endif
 
     if (atom_budget_hit) {
       // The last round is partial: complete_rounds stays at `round`.

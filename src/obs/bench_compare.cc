@@ -1,0 +1,226 @@
+#include "obs/bench_compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace frontiers::obs {
+
+namespace {
+
+// Canonical text for a parsed param value, identical for base and head no
+// matter which writer overload (string / double / uint64) produced it:
+// integral numbers render without a decimal point.
+std::string ParamText(const JsonValue& value) {
+  if (value.IsString()) return value.string;
+  if (value.IsBool()) return value.boolean ? "true" : "false";
+  if (value.IsNumber()) {
+    const double v = value.number;
+    if (std::nearbyint(v) == v && std::fabs(v) < 9.007199254740992e15) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%lld",
+                    static_cast<long long>(v));
+      return buffer;
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+    return buffer;
+  }
+  return "null";
+}
+
+Status LineError(std::string_view source, size_t line_number,
+                 const std::string& what) {
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), ":%zu: ", line_number);
+  return Status::Error(std::string(source) + prefix + what);
+}
+
+std::string FormatDelta(const BenchDelta& delta) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer), "%+.1f%% (%.6fs -> %.6fs)  ",
+                (delta.ratio - 1.0) * 100.0, delta.base_seconds,
+                delta.head_seconds);
+  return buffer + delta.key + " [" + delta.metric + "]";
+}
+
+}  // namespace
+
+std::string BenchRow::Key() const {
+  std::string key = experiment;
+  key += '|';
+  key += section;
+  for (const auto& [name, value] : params) {  // std::map: sorted, stable
+    key += '|';
+    key += name;
+    key += '=';
+    key += value;
+  }
+  return key;
+}
+
+Result<std::vector<BenchRow>> ParseBenchRows(std::string_view text,
+                                             std::string_view source) {
+  std::vector<BenchRow> rows;
+  size_t line_number = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+
+    Result<JsonValue> parsed = ParseJson(line);
+    if (!parsed.ok()) {
+      return LineError(source, line_number, parsed.message());
+    }
+    const JsonValue& value = parsed.value();
+    if (!value.IsObject()) {
+      return LineError(source, line_number, "bench row is not a JSON object");
+    }
+    const JsonValue* schema = value.Find("schema");
+    if (schema == nullptr || !schema->IsString() ||
+        schema->string != "frontiers-bench-v1") {
+      return LineError(source, line_number,
+                       "missing or unexpected schema tag (want "
+                       "frontiers-bench-v1)");
+    }
+
+    BenchRow row;
+    if (const JsonValue* experiment = value.Find("experiment");
+        experiment != nullptr && experiment->IsString()) {
+      row.experiment = experiment->string;
+    }
+    if (const JsonValue* section = value.Find("section");
+        section != nullptr && section->IsString()) {
+      row.section = section->string;
+    }
+    if (const JsonValue* params = value.Find("params");
+        params != nullptr && params->IsObject()) {
+      for (const auto& [name, param] : params->object) {
+        row.params[name] = ParamText(param);
+      }
+    }
+    if (const JsonValue* counters = value.Find("counters");
+        counters != nullptr && counters->IsObject()) {
+      for (const auto& [name, counter] : counters->object) {
+        if (counter.IsNumber()) {
+          row.counters[name] = static_cast<uint64_t>(counter.number);
+        }
+      }
+    }
+    if (const JsonValue* seconds = value.Find("seconds");
+        seconds != nullptr && seconds->IsObject()) {
+      for (const auto& [name, metric] : seconds->object) {
+        if (metric.IsNumber()) row.seconds[name] = metric.number;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+BenchCompareReport CompareBench(const std::vector<BenchRow>& base,
+                                const std::vector<BenchRow>& head,
+                                const BenchCompareOptions& options) {
+  // (key, metric) -> min seconds over duplicate measurements.
+  using Timings = std::map<std::pair<std::string, std::string>, double>;
+  auto collect = [](const std::vector<BenchRow>& rows) {
+    Timings timings;
+    for (const BenchRow& row : rows) {
+      if (row.seconds.empty()) continue;  // e.g. a Table auto-row
+      const std::string key = row.Key();
+      for (const auto& [metric, value] : row.seconds) {
+        auto [it, inserted] = timings.emplace(std::make_pair(key, metric),
+                                              value);
+        if (!inserted) it->second = std::min(it->second, value);
+      }
+    }
+    return timings;
+  };
+  const Timings base_timings = collect(base);
+  const Timings head_timings = collect(head);
+
+  BenchCompareReport report;
+  auto note_key = [](std::vector<std::string>& keys, const std::string& key) {
+    if (keys.empty() || keys.back() != key) keys.push_back(key);
+  };
+  for (const auto& [id, base_seconds] : base_timings) {
+    auto it = head_timings.find(id);
+    if (it == head_timings.end()) {
+      note_key(report.only_base, id.first);
+      continue;
+    }
+    BenchDelta delta;
+    delta.key = id.first;
+    delta.metric = id.second;
+    delta.base_seconds = base_seconds;
+    delta.head_seconds = it->second;
+    delta.ratio = base_seconds > 0
+                      ? delta.head_seconds / base_seconds
+                      : (delta.head_seconds > 0
+                             ? std::numeric_limits<double>::infinity()
+                             : 1.0);
+    const bool noise = base_seconds < options.min_seconds &&
+                       delta.head_seconds < options.min_seconds;
+    if (!noise && delta.ratio > 1.0 + options.threshold) {
+      report.regressions.push_back(std::move(delta));
+    } else if (!noise && delta.ratio < 1.0 - options.threshold) {
+      report.improvements.push_back(std::move(delta));
+    } else {
+      report.stable.push_back(std::move(delta));
+    }
+  }
+  for (const auto& [id, seconds] : head_timings) {
+    (void)seconds;
+    if (base_timings.find(id) == base_timings.end()) {
+      note_key(report.only_head, id.first);
+    }
+  }
+  auto slowest_first = [](const BenchDelta& a, const BenchDelta& b) {
+    if (a.ratio != b.ratio) return a.ratio > b.ratio;
+    return a.key < b.key;
+  };
+  std::sort(report.regressions.begin(), report.regressions.end(),
+            slowest_first);
+  std::sort(report.improvements.begin(), report.improvements.end(),
+            [](const BenchDelta& a, const BenchDelta& b) {
+              if (a.ratio != b.ratio) return a.ratio < b.ratio;
+              return a.key < b.key;
+            });
+  return report;
+}
+
+std::string BenchCompareReport::ToString() const {
+  std::string out;
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer),
+                "bench-diff: %zu regression(s), %zu improvement(s), "
+                "%zu stable\n",
+                regressions.size(), improvements.size(), stable.size());
+  out += buffer;
+  for (const BenchDelta& delta : regressions) {
+    out += "  REGRESSION ";
+    out += FormatDelta(delta);
+    out += '\n';
+  }
+  for (const BenchDelta& delta : improvements) {
+    out += "  improved   ";
+    out += FormatDelta(delta);
+    out += '\n';
+  }
+  for (const std::string& key : only_base) {
+    out += "  only in base: " + key + '\n';
+  }
+  for (const std::string& key : only_head) {
+    out += "  only in head: " + key + '\n';
+  }
+  return out;
+}
+
+}  // namespace frontiers::obs

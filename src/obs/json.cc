@@ -137,6 +137,20 @@ class Parser {
     }
   }
 
+  Status ParseHex4(unsigned& code) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else return Error("bad hex digit in \\u escape");
+    }
+    return Status::Ok();
+  }
+
   Status ParseString(std::string& out) {
     ++pos_;  // '"'
     while (pos_ < text_.size()) {
@@ -159,26 +173,40 @@ class Parser {
           case 'r': out.push_back('\r'); break;
           case 't': out.push_back('\t'); break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
             unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else return Error("bad hex digit in \\u escape");
+            if (Status s = ParseHex4(code); !s.ok()) return s;
+            // Combine UTF-16 surrogate pairs into one code point; a lone
+            // surrogate (high without low, or a bare low) is malformed
+            // JSON text and rejected rather than smuggled through as an
+            // invalid UTF-8 sequence.
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Error("high surrogate without a \\u low surrogate");
+              }
+              pos_ += 2;
+              unsigned low = 0;
+              if (Status s = ParseHex4(low); !s.ok()) return s;
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Error("high surrogate followed by a non-low surrogate");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else if (code >= 0xDC00 && code <= 0xDFFF) {
+              return Error("lone low surrogate");
             }
-            // UTF-8 encode the code point (surrogate pairs are passed
-            // through unpaired; the validator only needs round-tripping of
-            // the control characters our emitters escape).
+            // UTF-8 encode the code point (1-4 bytes).
             if (code < 0x80) {
               out.push_back(static_cast<char>(code));
             } else if (code < 0x800) {
               out.push_back(static_cast<char>(0xC0 | (code >> 6)));
               out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-            } else {
+            } else if (code < 0x10000) {
               out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
               out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
               out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
             }

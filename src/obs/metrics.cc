@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "base/check.h"
+#include "obs/json.h"
 
 namespace frontiers::obs {
 
@@ -130,6 +131,63 @@ std::string MetricsSnapshot::ToString() const {
     }
     out += '\n';
   }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"schema\":\"frontiers-metrics-v1\"";
+  char buffer[64];
+  auto append_number = [&](double value) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    out += buffer;
+  };
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += JsonEscape(name);
+    std::snprintf(buffer, sizeof(buffer), "\":%llu",
+                  static_cast<unsigned long long>(value));
+    out += buffer;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += JsonEscape(name);
+    out += "\":";
+    append_number(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, data] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += JsonEscape(name);
+    std::snprintf(buffer, sizeof(buffer), "\":{\"count\":%llu,\"sum\":",
+                  static_cast<unsigned long long>(data.total_count));
+    out += buffer;
+    append_number(data.sum);
+    out += ",\"bounds\":[";
+    for (size_t i = 0; i < data.bounds.size(); ++i) {
+      if (i > 0) out += ',';
+      append_number(data.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (size_t i = 0; i < data.counts.size(); ++i) {
+      if (i > 0) out += ',';
+      std::snprintf(buffer, sizeof(buffer), "%llu",
+                    static_cast<unsigned long long>(data.counts[i]));
+      out += buffer;
+    }
+    out += "]}";
+  }
+  out += "}}\n";
   return out;
 }
 

@@ -92,6 +92,12 @@ struct MetricsSnapshot {
   std::map<std::string, HistogramData> histograms;
 
   std::string ToString() const;
+
+  /// Machine-readable rendering: one JSON object with schema marker
+  /// `frontiers-metrics-v1`, counters/gauges/histograms keyed by metric
+  /// name.  This is what `--metrics=<file>` and the REPL's `.metrics`
+  /// command write; tools/validate_telemetry checks it.
+  std::string ToJson() const;
 };
 
 /// Named-metric registry.  Metric names follow the convention

@@ -1,0 +1,315 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace frontiers::obs {
+
+namespace {
+
+uint64_t ThreadCpuNanos() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+#else
+  return 0;  // No per-thread CPU clock on this platform; wall time only.
+#endif
+}
+
+// Raw per-thread call-tree node.  Children are keyed by name *pointer*:
+// span names are string literals, so within one call site the pointer is
+// stable; two literals with equal text from different translation units
+// get separate raw nodes and are merged by string at Stop().
+struct RawNode {
+  const char* name = nullptr;
+  uint64_t count = 0;
+  uint64_t wall_ns = 0;
+  uint64_t cpu_ns = 0;
+  std::unordered_map<const char*, size_t> children;  // name -> node index
+};
+
+// Sentinel node index for frames dropped by ProfileOptions::max_depth.
+constexpr size_t kFoldedFrame = static_cast<size_t>(-1);
+
+// An open frame on a thread's profile stack.
+struct OpenFrame {
+  size_t node;  // index into ThreadTree::nodes
+  uint64_t start_wall_ns;
+  uint64_t start_cpu_ns;
+};
+
+// One thread's tree + stack for one session.  The owner thread appends
+// under `mu` (uncontended in steady state, exactly like trace buffers);
+// Stop() takes the same mutex to read a consistent tree.
+struct ThreadTree {
+  std::mutex mu;
+  std::vector<RawNode> nodes;  // nodes[0] is the thread's synthetic root
+  std::vector<OpenFrame> stack;
+  uint64_t folded_frames = 0;
+
+  ThreadTree() { nodes.emplace_back(); }
+};
+
+struct SessionState {
+  std::mutex mu;
+  bool active = false;
+  ProfileOptions options;
+  std::vector<std::shared_ptr<ThreadTree>> trees;
+  // Bumped on Start so thread-local tree pointers from a previous session
+  // are abandoned instead of polluting the new one.
+  std::atomic<uint64_t> epoch{0};
+};
+
+SessionState& State() {
+  static SessionState* state = new SessionState();  // leaked: program-lifetime
+  return *state;
+}
+
+// The calling thread's tree for the current session, registering a fresh
+// one when the thread has none (or only one from a dead session).
+ThreadTree* LocalTree() {
+  thread_local std::shared_ptr<ThreadTree> tree;
+  thread_local uint64_t tree_epoch = 0;
+  SessionState& state = State();
+  const uint64_t epoch = state.epoch.load(std::memory_order_acquire);
+  if (!tree || tree_epoch != epoch) {
+    auto fresh = std::make_shared<ThreadTree>();
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (!state.active) return nullptr;  // raced a Stop(); drop the frame
+      state.trees.push_back(fresh);
+    }
+    tree = std::move(fresh);
+    tree_epoch = epoch;
+  }
+  return tree.get();
+}
+
+// Merges `raw` (a thread's tree) into the report tree `out`, matching
+// children by name string.
+void MergeInto(const std::vector<RawNode>& nodes, size_t raw_index,
+               ProfileNode& out) {
+  const RawNode& raw = nodes[raw_index];
+  out.count += raw.count;
+  out.wall_ns += raw.wall_ns;
+  out.cpu_ns += raw.cpu_ns;
+  for (const auto& [name, child_index] : raw.children) {
+    ProfileNode* slot = nullptr;
+    for (ProfileNode& existing : out.children) {
+      if (existing.name == name) {
+        slot = &existing;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      out.children.emplace_back();
+      slot = &out.children.back();
+      slot->name = name;
+    }
+    MergeInto(nodes, child_index, *slot);
+  }
+}
+
+void SortByWallDescending(ProfileNode& node) {
+  std::sort(node.children.begin(), node.children.end(),
+            [](const ProfileNode& a, const ProfileNode& b) {
+              if (a.wall_ns != b.wall_ns) return a.wall_ns > b.wall_ns;
+              return a.name < b.name;
+            });
+  for (ProfileNode& child : node.children) SortByWallDescending(child);
+}
+
+void RenderNode(const ProfileNode& node, size_t depth, std::string& out) {
+  char line[256];
+  std::snprintf(line, sizeof(line), "%10.3f %10.3f %10llu %10.3f  ",
+                static_cast<double>(node.wall_ns) / 1e6,
+                static_cast<double>(node.cpu_ns) / 1e6,
+                static_cast<unsigned long long>(node.count),
+                static_cast<double>(node.SelfWallNanos()) / 1e6);
+  out += line;
+  out.append(2 * depth, ' ');
+  out += node.name;
+  out += '\n';
+  for (const ProfileNode& child : node.children) {
+    RenderNode(child, depth + 1, out);
+  }
+}
+
+void RenderFolded(const ProfileNode& node, const std::string& prefix,
+                  std::string& out) {
+  const std::string path =
+      prefix.empty() ? node.name : prefix + ";" + node.name;
+  // flamegraph.pl sums children into ancestors itself, so each line
+  // carries the node's *self* time only; pure pass-through frames (all
+  // time in children) are omitted as lines but kept as path segments.
+  const uint64_t self_us = node.SelfWallNanos() / 1000;
+  if (self_us > 0 || node.children.empty()) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), " %llu\n",
+                  static_cast<unsigned long long>(self_us));
+    out += path;
+    out += buffer;
+  }
+  for (const ProfileNode& child : node.children) {
+    RenderFolded(child, path, out);
+  }
+}
+
+}  // namespace
+
+namespace internal {
+
+void ProfileEnter(const char* name) {
+  ThreadTree* tree = LocalTree();
+  if (tree == nullptr) return;
+  std::lock_guard<std::mutex> lock(tree->mu);
+  if (tree->stack.size() >= State().options.max_depth) {
+    // Fold into the deepest kept ancestor: push a sentinel frame so Exit
+    // stays balanced, but don't grow the tree — the ancestor's inclusive
+    // times already cover the folded scope.
+    ++tree->folded_frames;
+    tree->stack.push_back({kFoldedFrame, 0, 0});
+    return;
+  }
+  const size_t parent = tree->stack.empty() ? 0 : tree->stack.back().node;
+  auto it = tree->nodes[parent].children.find(name);
+  size_t index;
+  if (it != tree->nodes[parent].children.end()) {
+    index = it->second;
+  } else {
+    index = tree->nodes.size();
+    tree->nodes.emplace_back();
+    tree->nodes.back().name = name;
+    tree->nodes[parent].children.emplace(name, index);
+  }
+  tree->stack.push_back({index, NowNanos(), ThreadCpuNanos()});
+}
+
+void ProfileExit() {
+  ThreadTree* tree = LocalTree();
+  if (tree == nullptr) return;
+  std::lock_guard<std::mutex> lock(tree->mu);
+  if (tree->stack.empty()) return;  // raced a session restart mid-span
+  const OpenFrame frame = tree->stack.back();
+  tree->stack.pop_back();
+  if (frame.node == kFoldedFrame) return;
+  RawNode& node = tree->nodes[frame.node];
+  ++node.count;
+  node.wall_ns += NowNanos() - frame.start_wall_ns;
+  node.cpu_ns += ThreadCpuNanos() - frame.start_cpu_ns;
+}
+
+}  // namespace internal
+
+uint64_t ProfileNode::SelfWallNanos() const {
+  uint64_t child_wall = 0;
+  for (const ProfileNode& child : children) child_wall += child.wall_ns;
+  return wall_ns > child_wall ? wall_ns - child_wall : 0;
+}
+
+std::string ProfileReport::ToString() const {
+  std::string out = "# frontiers profile: ";
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer),
+                "%zu thread(s), %.3f ms wall across roots",
+                threads, static_cast<double>(root.wall_ns) / 1e6);
+  out += buffer;
+  if (folded_frames > 0) {
+    std::snprintf(buffer, sizeof(buffer), ", %llu frame(s) depth-folded",
+                  static_cast<unsigned long long>(folded_frames));
+    out += buffer;
+  }
+  out +=
+      "\n#    wall_ms     cpu_ms      count    self_ms  span\n";
+  for (const ProfileNode& child : root.children) {
+    RenderNode(child, 0, out);
+  }
+  return out;
+}
+
+std::string ProfileReport::ToFolded() const {
+  std::string out;
+  for (const ProfileNode& child : root.children) {
+    RenderFolded(child, "", out);
+  }
+  return out;
+}
+
+Status ProfileSession::Start(ProfileOptions options) {
+  SessionState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.active) return Status::Error("profile session already active");
+  if (options.max_depth == 0) {
+    return Status::Error("ProfileOptions::max_depth must be at least 1");
+  }
+  state.active = true;
+  state.options = options;
+  state.trees.clear();
+  state.epoch.fetch_add(1, std::memory_order_release);
+  internal::g_span_mask.fetch_or(internal::kSpanProfile,
+                                 std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Result<ProfileReport> ProfileSession::Stop() {
+  SessionState& state = State();
+  internal::g_span_mask.fetch_and(~internal::kSpanProfile,
+                                  std::memory_order_relaxed);
+  std::vector<std::shared_ptr<ThreadTree>> trees;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.active) return Status::Error("no profile session active");
+    state.active = false;
+    trees = std::move(state.trees);
+    state.trees.clear();
+  }
+  ProfileReport report;
+  report.root.name = "(root)";
+  for (const std::shared_ptr<ThreadTree>& tree : trees) {
+    std::lock_guard<std::mutex> lock(tree->mu);
+    if (tree->nodes[0].children.empty()) continue;
+    ++report.threads;
+    report.folded_frames += tree->folded_frames;
+    // The thread root carries no times of its own; fold its children in
+    // and recompute the report root's totals from them below.
+    for (const auto& [name, child_index] : tree->nodes[0].children) {
+      ProfileNode* slot = nullptr;
+      for (ProfileNode& existing : report.root.children) {
+        if (existing.name == name) {
+          slot = &existing;
+          break;
+        }
+      }
+      if (slot == nullptr) {
+        report.root.children.emplace_back();
+        slot = &report.root.children.back();
+        slot->name = name;
+      }
+      MergeInto(tree->nodes, child_index, *slot);
+    }
+  }
+  for (const ProfileNode& child : report.root.children) {
+    report.root.count += child.count;
+    report.root.wall_ns += child.wall_ns;
+    report.root.cpu_ns += child.cpu_ns;
+  }
+  SortByWallDescending(report.root);
+  return report;
+}
+
+bool ProfileSession::Active() {
+  SessionState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.active;
+}
+
+}  // namespace frontiers::obs

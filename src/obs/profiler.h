@@ -1,0 +1,85 @@
+#ifndef FRONTIERS_OBS_PROFILER_H_
+#define FRONTIERS_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace frontiers::obs {
+
+/// Knobs for a profile session.
+struct ProfileOptions {
+  /// Frames deeper than this are folded into their deepest kept ancestor
+  /// (their time still counts there; a fold counter reports how many).
+  /// Bounds per-thread tree memory on pathologically recursive span nests.
+  size_t max_depth = 64;
+};
+
+/// One node of the aggregated call tree: a span name in a particular stack
+/// context, with inclusive wall time, inclusive thread-CPU time, and the
+/// number of times the span closed there.
+struct ProfileNode {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t wall_ns = 0;  ///< Inclusive: covers the children too.
+  uint64_t cpu_ns = 0;   ///< Inclusive thread-CPU time (CLOCK_THREAD_CPUTIME).
+  std::vector<ProfileNode> children;
+
+  /// Wall time not covered by any child (>= 0 up to clock granularity).
+  uint64_t SelfWallNanos() const;
+};
+
+/// The result of a profile session: per-thread call trees merged by stack
+/// path into one tree under a synthetic root.
+struct ProfileReport {
+  /// Synthetic root; `root.children` are the outermost profiled spans.
+  /// `root.wall_ns`/`cpu_ns`/`count` are the sums over its children.
+  ProfileNode root;
+  /// Number of threads that recorded at least one frame.
+  size_t threads = 0;
+  /// Frames folded into their parent by ProfileOptions::max_depth.
+  uint64_t folded_frames = 0;
+
+  /// Human-readable top-down report: one line per node, indented by stack
+  /// depth, sorted by inclusive wall time, with count / wall / CPU / self
+  /// columns.  This is what `--profile=<file>` writes to `<file>`.
+  std::string ToString() const;
+
+  /// Brendan-Gregg folded-stack output (`a;b;c <self-wall-microseconds>`
+  /// per line), the input format of flamegraph.pl and speedscope.  Written
+  /// to `<file>.folded` by `--profile=<file>`.
+  std::string ToFolded() const;
+};
+
+/// A process-global profile session aggregating the library's existing
+/// RAII spans (obs/trace.h) into per-thread call trees — wall time, thread
+/// CPU time, and invocation counts keyed by the span's stack path.  At
+/// most one session is active at a time; it may run concurrently with a
+/// TraceSession (the two consumers share the span's one enabled-check).
+///
+/// Threads register a call tree on their first frame; a tree is appended
+/// to by its owner thread only (one brief uncontended mutex acquisition
+/// per frame, as with trace buffers) and merged into the report by Stop().
+/// Like tracing, profiling is pure observation: tests/obs_test.cc asserts
+/// a profiled chase is byte-identical to an unprofiled one at several
+/// thread counts.  Stop() should be called when spans are quiescent; a
+/// span racing Start()/Stop() may be dropped from the report, never a
+/// data race or a crash.
+class ProfileSession {
+ public:
+  /// Starts the global session.  Fails if a session is already active.
+  static Status Start(ProfileOptions options = {});
+
+  /// Stops the active session and returns the merged report.  Returns an
+  /// error if no session is active.
+  static Result<ProfileReport> Stop();
+
+  /// True while a session is active (same answer as ProfilingEnabled()).
+  static bool Active();
+};
+
+}  // namespace frontiers::obs
+
+#endif  // FRONTIERS_OBS_PROFILER_H_

@@ -10,7 +10,7 @@
 namespace frontiers::obs {
 
 namespace internal {
-std::atomic<bool> g_trace_enabled{false};
+std::atomic<uint32_t> g_span_mask{0};
 
 uint64_t NowNanos() {
   return static_cast<uint64_t>(
@@ -126,13 +126,15 @@ Status TraceSession::Start(std::string path, TraceOptions options) {
   state.min_duration_ns.store(options.min_duration_us * 1000,
                               std::memory_order_relaxed);
   state.epoch.fetch_add(1, std::memory_order_release);
-  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+  internal::g_span_mask.fetch_or(internal::kSpanTrace,
+                                 std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Status TraceSession::Stop() {
   SessionState& state = State();
-  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+  internal::g_span_mask.fetch_and(~internal::kSpanTrace,
+                                  std::memory_order_relaxed);
   std::string path;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {

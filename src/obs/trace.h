@@ -10,10 +10,15 @@
 namespace frontiers::obs {
 
 namespace internal {
-/// The one global "is a trace session running" flag.  A disabled Span costs
-/// exactly one relaxed load of this plus a branch — the overhead budget the
-/// chase's parity guarantees are measured against (DESIGN.md §7).
-extern std::atomic<bool> g_trace_enabled;
+/// Which span consumers are currently live, as a bitmask.  A disabled Span
+/// costs exactly one relaxed load of this plus a branch — the overhead
+/// budget the chase's parity guarantees are measured against (DESIGN.md
+/// §7).  Sharing one word between the trace layer and the profiler keeps
+/// that guarantee as consumers are added: the disabled path never pays a
+/// second load.
+inline constexpr uint32_t kSpanTrace = 1u << 0;    ///< TraceSession active.
+inline constexpr uint32_t kSpanProfile = 1u << 1;  ///< ProfileSession active.
+extern std::atomic<uint32_t> g_span_mask;
 
 /// Monotonic nanoseconds (steady clock).  Only meaningful as differences.
 uint64_t NowNanos();
@@ -26,12 +31,25 @@ void EmitComplete(const char* name, const char* category, uint64_t start_ns,
 
 /// Appends an instant ('i') event to the calling thread's buffer.
 void EmitInstant(const char* name, const char* category);
+
+/// Pushes/pops a frame on the calling thread's profiler call stack
+/// (defined in obs/profiler.cc).  Enter records wall + thread-CPU start
+/// times; Exit accumulates the closing frame into the thread's call tree.
+void ProfileEnter(const char* name);
+void ProfileExit();
 }  // namespace internal
 
 /// True while a TraceSession is active.  Relaxed: a span racing a session
 /// start/stop is simply missed or dropped, never torn.
 inline bool TracingEnabled() {
-  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+  return (internal::g_span_mask.load(std::memory_order_relaxed) &
+          internal::kSpanTrace) != 0;
+}
+
+/// True while a ProfileSession is active (obs/profiler.h).
+inline bool ProfilingEnabled() {
+  return (internal::g_span_mask.load(std::memory_order_relaxed) &
+          internal::kSpanProfile) != 0;
 }
 
 /// Knobs for a trace session.
@@ -72,24 +90,31 @@ class TraceSession {
 };
 
 /// RAII span: construction records the start time, destruction emits a
-/// complete event covering the scope.  When tracing is disabled the
-/// constructor is a single relaxed atomic load and the destructor a branch
-/// on a bool.  `name`/`category` must be string literals.
+/// complete event covering the scope.  The same span feeds both consumers:
+/// an active TraceSession receives a Chrome trace event, an active
+/// ProfileSession (obs/profiler.h) a call-tree frame.  When both are
+/// disabled the constructor is a single relaxed atomic load and the
+/// destructor a branch on an int.  `name`/`category` must be string
+/// literals.
 class Span {
  public:
   Span(const char* name, const char* category) {
-    if (!TracingEnabled()) return;
-    armed_ = true;
+    const uint32_t mask =
+        internal::g_span_mask.load(std::memory_order_relaxed);
+    if (mask == 0) return;
+    mask_ = mask;
     name_ = name;
     category_ = category;
-    start_ns_ = internal::NowNanos();
+    if (mask & internal::kSpanProfile) internal::ProfileEnter(name);
+    if (mask & internal::kSpanTrace) start_ns_ = internal::NowNanos();
   }
 
   ~Span() {
-    if (armed_) {
+    if (mask_ & internal::kSpanTrace) {
       internal::EmitComplete(name_, category_, start_ns_,
                              internal::NowNanos());
     }
+    if (mask_ & internal::kSpanProfile) internal::ProfileExit();
   }
 
   Span(const Span&) = delete;
@@ -99,7 +124,7 @@ class Span {
   const char* name_ = nullptr;
   const char* category_ = nullptr;
   uint64_t start_ns_ = 0;
-  bool armed_ = false;
+  uint32_t mask_ = 0;
 };
 
 /// Emits a zero-duration instant event (a vertical marker in the viewer),

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -16,8 +17,10 @@
 #include "catalog/strategies.h"
 #include "catalog/theories.h"
 #include "chase/chase.h"
+#include "obs/bench_compare.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace frontiers {
@@ -66,6 +69,80 @@ TEST(Json, EscapeRoundTripsThroughParser) {
   Result<obs::JsonValue> v = obs::ParseJson(doc);
   ASSERT_TRUE(v.ok()) << v.message();
   EXPECT_EQ(v.value().Find("k")->string, nasty);
+}
+
+TEST(Json, DeepNestingParsesUpToTheLimitAndNoFurther) {
+  // 90 levels: inside the parser's depth cap (96), must parse.
+  std::string deep;
+  for (int i = 0; i < 90; ++i) deep += '[';
+  deep += '1';
+  for (int i = 0; i < 90; ++i) deep += ']';
+  EXPECT_TRUE(obs::ParseJson(deep).ok());
+
+  // 200 levels: over the cap — rejected with an error, never a stack
+  // overflow (the validator reads arbitrary files).
+  std::string too_deep;
+  for (int i = 0; i < 200; ++i) too_deep += "{\"k\":";
+  too_deep += "1";
+  for (int i = 0; i < 200; ++i) too_deep += '}';
+  Result<obs::JsonValue> rejected = obs::ParseJson(too_deep);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.message().find("deep"), std::string::npos);
+}
+
+TEST(Json, UnicodeEscapesIncludingSurrogatePairs) {
+  // BMP code points decode to 1-3 UTF-8 bytes.
+  EXPECT_EQ(obs::ParseJson("\"\\u0041\"").value().string, "A");
+  EXPECT_EQ(obs::ParseJson("\"\\u00e9\"").value().string, "\xC3\xA9");
+  EXPECT_EQ(obs::ParseJson("\"\\u20AC\"").value().string, "\xE2\x82\xAC");
+  // A surrogate pair combines into one 4-byte code point (U+1F600).
+  EXPECT_EQ(obs::ParseJson("\"\\ud83d\\ude00\"").value().string,
+            "\xF0\x9F\x98\x80");
+  // Malformed surrogate uses are rejected, not passed through.
+  for (const char* bad : {
+           "\"\\ud83d\"",         // lone high surrogate
+           "\"\\ud83dxy\"",       // high surrogate, then plain characters
+           "\"\\ud83d\\n\"",      // high surrogate, then a non-\u escape
+           "\"\\ud83d\\u0041\"",  // high surrogate, then a non-surrogate
+           "\"\\ude00\"",         // lone low surrogate
+           "\"\\u12\"",           // truncated hex
+           "\"\\u12g4\"",         // bad hex digit
+       }) {
+    EXPECT_FALSE(obs::ParseJson(bad).ok()) << bad;
+  }
+}
+
+TEST(Json, NumbersAtDoublePrecisionLimits) {
+  struct Case {
+    const char* text;
+    double want;
+  };
+  for (const Case& c : {
+           Case{"1e308", 1e308},
+           Case{"-1.7976931348623157e308", -1.7976931348623157e308},
+           Case{"5e-324", 5e-324},  // smallest subnormal
+           Case{"9007199254740993", 9007199254740992.0},  // 2^53+1 rounds
+           Case{"0.1", 0.1},
+           Case{"-0", 0.0},
+       }) {
+    Result<obs::JsonValue> v = obs::ParseJson(c.text);
+    ASSERT_TRUE(v.ok()) << c.text;
+    EXPECT_DOUBLE_EQ(v.value().number, c.want) << c.text;
+  }
+  // Overflowing literals become inf — strtod semantics, not an error.
+  Result<obs::JsonValue> inf = obs::ParseJson("1e309");
+  ASSERT_TRUE(inf.ok());
+  EXPECT_TRUE(std::isinf(inf.value().number));
+}
+
+TEST(Json, EveryTruncationOfAValidDocumentIsRejected) {
+  const std::string doc =
+      R"({"a":[1,2.5,{"b":"x\u0041\ud83d\ude00","c":[true,null]}],"d":-3e2})";
+  ASSERT_TRUE(obs::ParseJson(doc).ok());
+  for (size_t len = 0; len < doc.size(); ++len) {
+    EXPECT_FALSE(obs::ParseJson(doc.substr(0, len)).ok())
+        << "prefix of length " << len << " parsed: " << doc.substr(0, len);
+  }
 }
 
 // --- trace layer -----------------------------------------------------------
@@ -176,6 +253,119 @@ TEST(Trace, MinDurationFilterDropsShortSpans) {
   EXPECT_EQ(spans, 0u);
   EXPECT_EQ(instants, 1u);
   std::remove(path.c_str());
+}
+
+// --- profiler --------------------------------------------------------------
+
+const obs::ProfileNode* FindChild(const obs::ProfileNode& node,
+                                  const std::string& name) {
+  for (const obs::ProfileNode& child : node.children) {
+    if (child.name == name) return &child;
+  }
+  return nullptr;
+}
+
+TEST(Profiler, DisabledByDefaultAndStopWithoutStartFails) {
+  EXPECT_FALSE(obs::ProfilingEnabled());
+  EXPECT_FALSE(obs::ProfileSession::Active());
+  {
+    obs::Span span("unprofiled", "test");  // no-op, not an error
+  }
+  EXPECT_FALSE(obs::ProfileSession::Stop().ok());
+}
+
+TEST(Profiler, AggregatesSpansIntoCallTreeWithCountsAndTimes) {
+  ASSERT_TRUE(obs::ProfileSession::Start().ok());
+  EXPECT_TRUE(obs::ProfilingEnabled());
+  EXPECT_FALSE(obs::ProfileSession::Start().ok()) << "one session at a time";
+  constexpr int kInner = 5;
+  {
+    obs::Span outer("prof.outer", "test");
+    for (int i = 0; i < kInner; ++i) {
+      obs::Span inner("prof.inner", "test");
+    }
+  }
+  {
+    obs::Span outer("prof.outer", "test");  // second invocation, same path
+  }
+  Result<obs::ProfileReport> report = obs::ProfileSession::Stop();
+  ASSERT_TRUE(report.ok()) << report.message();
+  EXPECT_FALSE(obs::ProfilingEnabled());
+
+  const obs::ProfileNode& root = report.value().root;
+  EXPECT_EQ(report.value().threads, 1u);
+  const obs::ProfileNode* outer = FindChild(root, "prof.outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 2u);
+  const obs::ProfileNode* inner = FindChild(*outer, "prof.inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, static_cast<uint64_t>(kInner));
+  // Inclusive wall time covers the children; self time is the remainder.
+  EXPECT_GE(outer->wall_ns, inner->wall_ns);
+  EXPECT_EQ(outer->SelfWallNanos(), outer->wall_ns - inner->wall_ns);
+  // The synthetic root sums its children.
+  EXPECT_GE(root.wall_ns, outer->wall_ns);
+
+  const std::string text = report.value().ToString();
+  for (const char* needle :
+       {"# frontiers profile:", "wall_ms", "prof.outer", "prof.inner"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle << "\n" << text;
+  }
+  // Folded output spells the stack path with ';' separators.
+  const std::string folded = report.value().ToFolded();
+  if (inner->SelfWallNanos() >= 1000) {
+    EXPECT_NE(folded.find("prof.outer;prof.inner "), std::string::npos)
+        << folded;
+  }
+}
+
+TEST(Profiler, MergesThreadsAndCountsThem) {
+  ASSERT_TRUE(obs::ProfileSession::Start().ok());
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 25;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        obs::Span span("prof.worker", "test");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  Result<obs::ProfileReport> report = obs::ProfileSession::Stop();
+  ASSERT_TRUE(report.ok()) << report.message();
+  EXPECT_EQ(report.value().threads, static_cast<size_t>(kThreads));
+  const obs::ProfileNode* worker =
+      FindChild(report.value().root, "prof.worker");
+  ASSERT_NE(worker, nullptr);
+  EXPECT_EQ(worker->count, uint64_t{kThreads} * kSpans)
+      << "same-path frames from different threads merge into one node";
+}
+
+TEST(Profiler, DepthCapFoldsFramesButStaysBalanced) {
+  obs::ProfileOptions options;
+  options.max_depth = 2;
+  ASSERT_TRUE(obs::ProfileSession::Start(options).ok());
+  {
+    obs::Span a("prof.a", "test");
+    obs::Span b("prof.b", "test");
+    obs::Span c("prof.c", "test");  // over the cap: folded into prof.b
+    obs::Span d("prof.d", "test");  // also folded
+  }
+  {
+    obs::Span a("prof.a", "test");  // the stack unwound fully: records again
+  }
+  Result<obs::ProfileReport> report = obs::ProfileSession::Stop();
+  ASSERT_TRUE(report.ok()) << report.message();
+  EXPECT_EQ(report.value().folded_frames, 2u);
+  const obs::ProfileNode* a = FindChild(report.value().root, "prof.a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->count, 2u);
+  const obs::ProfileNode* b = FindChild(*a, "prof.b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(FindChild(*b, "prof.c"), nullptr) << "folded frames grow no nodes";
+  const std::string text = report.value().ToString();
+  EXPECT_NE(text.find("depth-folded"), std::string::npos) << text;
 }
 
 // --- metrics registry ------------------------------------------------------
@@ -295,6 +485,212 @@ TEST(Metrics, SnapshotToStringNamesEveryMetric) {
   }
 }
 
+TEST(Metrics, SnapshotToJsonRoundTripsThroughOwnParser) {
+  obs::Registry registry;
+  registry.GetCounter("test.counter").Add(42);
+  registry.GetGauge("test.gauge").Set(-2.5);
+  obs::Histogram& hist = registry.GetHistogram("test.hist", {1.0, 10.0});
+  hist.Observe(0.5);
+  hist.Observe(5.0);
+  hist.Observe(100.0);
+
+  Result<obs::JsonValue> parsed =
+      obs::ParseJson(registry.Snapshot().ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  const obs::JsonValue& root = parsed.value();
+  EXPECT_EQ(root.Find("schema")->string, "frontiers-metrics-v1");
+  EXPECT_DOUBLE_EQ(
+      root.Find("counters")->Find("test.counter")->number, 42.0);
+  EXPECT_DOUBLE_EQ(root.Find("gauges")->Find("test.gauge")->number, -2.5);
+  const obs::JsonValue* h = root.Find("histograms")->Find("test.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->Find("count")->number, 3.0);
+  EXPECT_DOUBLE_EQ(h->Find("sum")->number, 105.5);
+  ASSERT_EQ(h->Find("bounds")->array.size(), 2u);
+  ASSERT_EQ(h->Find("counts")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(h->Find("counts")->array[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(h->Find("counts")->array[1].number, 1.0);
+  EXPECT_DOUBLE_EQ(h->Find("counts")->array[2].number, 1.0);
+}
+
+// --- chase heartbeat -------------------------------------------------------
+
+TEST(Heartbeat, ToJsonLineRoundTripsWithNullsAndValues) {
+  ChaseHeartbeat beat;
+  beat.round = 7;
+  beat.facts = 1234;
+  beat.facts_per_second = 100.5;
+  beat.bytes = 4096;
+  beat.elapsed_seconds = 1.25;
+  // Defaults: no budget, no ETA, no stop — all three must render as null.
+  Result<obs::JsonValue> parsed = obs::ParseJson(beat.ToJsonLine());
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  const obs::JsonValue& root = parsed.value();
+  EXPECT_EQ(root.Find("schema")->string, "frontiers-heartbeat-v1");
+  EXPECT_DOUBLE_EQ(root.Find("round")->number, 7.0);
+  EXPECT_DOUBLE_EQ(root.Find("facts")->number, 1234.0);
+  EXPECT_DOUBLE_EQ(root.Find("facts_per_sec")->number, 100.5);
+  EXPECT_DOUBLE_EQ(root.Find("bytes")->number, 4096.0);
+  EXPECT_DOUBLE_EQ(root.Find("elapsed_seconds")->number, 1.25);
+  EXPECT_TRUE(root.Find("budget_remaining_seconds")->IsNull());
+  EXPECT_TRUE(root.Find("eta_seconds")->IsNull());
+  EXPECT_TRUE(root.Find("stop")->IsNull());
+
+  beat.budget_remaining_seconds = 10.0;
+  beat.eta_seconds = 3.5;
+  beat.stop = "fixpoint";
+  Result<obs::JsonValue> full = obs::ParseJson(beat.ToJsonLine());
+  ASSERT_TRUE(full.ok()) << full.message();
+  EXPECT_DOUBLE_EQ(full.value().Find("budget_remaining_seconds")->number,
+                   10.0);
+  EXPECT_DOUBLE_EQ(full.value().Find("eta_seconds")->number, 3.5);
+  EXPECT_EQ(full.value().Find("stop")->string, "fixpoint");
+}
+
+TEST(Heartbeat, ChaseEmitsPeriodicAndFinalHeartbeats) {
+  Vocabulary vocab;
+  Theory td = TdTheory(vocab);
+  FactSet db = EdgePath(vocab, "G", 8, "a");
+  ChaseOptions options;
+  options.max_rounds = 16;
+  options.max_atoms = 200'000;
+  options.filter = TdWitnessStrategy(vocab, td);
+  options.heartbeat_seconds = 1e-9;  // fires at every round boundary
+  std::vector<ChaseHeartbeat> beats;
+  options.heartbeat_sink = [&beats](const ChaseHeartbeat& beat) {
+    beats.push_back(beat);
+  };
+  ChaseEngine engine(vocab, td);
+  ChaseResult result = engine.Run(db, options);
+  ASSERT_GE(beats.size(), 2u) << "per-round beats plus the final one";
+  // All but the last are periodic (no stop); the last reports the stop.
+  for (size_t i = 0; i + 1 < beats.size(); ++i) {
+    EXPECT_EQ(beats[i].stop, nullptr) << "beat " << i;
+    if (i > 0) EXPECT_GE(beats[i].round, beats[i - 1].round);
+    EXPECT_GE(beats[i].elapsed_seconds, 0.0);
+  }
+  const ChaseHeartbeat& final_beat = beats.back();
+  ASSERT_NE(final_beat.stop, nullptr);
+  EXPECT_STREQ(final_beat.stop, ChaseStopName(result.stop));
+  EXPECT_EQ(final_beat.round, result.complete_rounds);
+  EXPECT_EQ(final_beat.facts, result.facts.size());
+  EXPECT_EQ(final_beat.bytes, result.approx_bytes);
+  // Every beat's JSON form parses and carries the schema tag.
+  for (const ChaseHeartbeat& beat : beats) {
+    Result<obs::JsonValue> parsed = obs::ParseJson(beat.ToJsonLine());
+    ASSERT_TRUE(parsed.ok()) << parsed.message();
+    EXPECT_EQ(parsed.value().Find("schema")->string,
+              "frontiers-heartbeat-v1");
+  }
+}
+
+// --- bench comparison (tools/bench_diff's engine) --------------------------
+
+std::string BenchLine(const std::string& name, double seconds,
+                      const std::string& experiment = "exp_x",
+                      const std::string& metric = "real_time") {
+  return "{\"schema\":\"frontiers-bench-v1\",\"experiment\":\"" + experiment +
+         "\",\"build\":\"test\",\"section\":\"s\",\"params\":{\"name\":\"" +
+         name + "\"},\"counters\":{},\"seconds\":{\"" + metric + "\":" +
+         std::to_string(seconds) + "},\"budget\":null}\n";
+}
+
+TEST(BenchCompare, ParsesRowsAndKeysIgnoreFieldOrder) {
+  // Same logical row with params in different JSON order: same key.
+  const std::string a =
+      R"({"schema":"frontiers-bench-v1","experiment":"e","build":"b1",)"
+      R"("section":"s","params":{"n":8,"mode":"fast"},"counters":{},)"
+      R"("seconds":{"wall":0.5},"budget":null})";
+  const std::string b =
+      R"({"schema":"frontiers-bench-v1","experiment":"e","build":"b2",)"
+      R"("section":"s","params":{"mode":"fast","n":8.0},"counters":{},)"
+      R"("seconds":{"wall":0.6},"budget":null})";
+  Result<std::vector<obs::BenchRow>> rows =
+      obs::ParseBenchRows(a + "\n\n" + b + "\n", "test");
+  ASSERT_TRUE(rows.ok()) << rows.message();
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0].Key(), rows.value()[1].Key());
+  EXPECT_NE(rows.value()[0].Key().find("mode=fast"), std::string::npos);
+  EXPECT_NE(rows.value()[0].Key().find("n=8"), std::string::npos);
+}
+
+TEST(BenchCompare, RejectsTruncatedAndForeignRows) {
+  Result<std::vector<obs::BenchRow>> truncated = obs::ParseBenchRows(
+      "{\"schema\":\"frontiers-bench-v1\",\"exper", "test");
+  EXPECT_FALSE(truncated.ok());
+  Result<std::vector<obs::BenchRow>> foreign = obs::ParseBenchRows(
+      "{\"schema\":\"some-other-v2\"}", "test");
+  ASSERT_FALSE(foreign.ok());
+  EXPECT_NE(foreign.message().find("schema"), std::string::npos);
+}
+
+TEST(BenchCompare, IdenticalRunsHaveNoRegressions) {
+  const std::string text = BenchLine("bm_a", 0.5) + BenchLine("bm_b", 0.25);
+  std::vector<obs::BenchRow> base =
+      obs::ParseBenchRows(text, "base").value();
+  std::vector<obs::BenchRow> head =
+      obs::ParseBenchRows(text, "head").value();
+  obs::BenchCompareReport report = obs::CompareBench(base, head);
+  EXPECT_FALSE(report.HasRegressions());
+  EXPECT_TRUE(report.improvements.empty());
+  EXPECT_EQ(report.stable.size(), 2u);
+}
+
+TEST(BenchCompare, TwiceSlowerRowIsNamedAsRegression) {
+  std::vector<obs::BenchRow> base =
+      obs::ParseBenchRows(BenchLine("bm_a", 0.5) + BenchLine("bm_b", 0.2),
+                          "base")
+          .value();
+  std::vector<obs::BenchRow> head =
+      obs::ParseBenchRows(BenchLine("bm_a", 1.0) + BenchLine("bm_b", 0.2),
+                          "head")
+          .value();
+  obs::BenchCompareReport report = obs::CompareBench(base, head);
+  ASSERT_EQ(report.regressions.size(), 1u);
+  const obs::BenchDelta& delta = report.regressions[0];
+  EXPECT_NE(delta.key.find("bm_a"), std::string::npos);
+  EXPECT_EQ(delta.metric, "real_time");
+  EXPECT_DOUBLE_EQ(delta.ratio, 2.0);
+  // The report names the regressed row for the CI log.
+  EXPECT_NE(report.ToString().find("bm_a"), std::string::npos);
+  EXPECT_NE(report.ToString().find("REGRESSION"), std::string::npos);
+}
+
+TEST(BenchCompare, DuplicateMeasurementsAggregateByMin) {
+  // Base has a noisy slow sample; min-aggregation keeps the fast one, so
+  // an identical head does not read as an improvement.
+  std::vector<obs::BenchRow> base =
+      obs::ParseBenchRows(BenchLine("bm_a", 0.9) + BenchLine("bm_a", 0.5),
+                          "base")
+          .value();
+  std::vector<obs::BenchRow> head =
+      obs::ParseBenchRows(BenchLine("bm_a", 0.5), "head").value();
+  obs::BenchCompareReport report = obs::CompareBench(base, head);
+  EXPECT_FALSE(report.HasRegressions());
+  EXPECT_TRUE(report.improvements.empty());
+  ASSERT_EQ(report.stable.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.stable[0].base_seconds, 0.5);
+}
+
+TEST(BenchCompare, SubNoiseTimingsNeverRegressAndMissingRowsAreListed) {
+  obs::BenchCompareOptions options;
+  options.min_seconds = 1e-3;
+  std::vector<obs::BenchRow> base =
+      obs::ParseBenchRows(
+          BenchLine("tiny", 1e-7) + BenchLine("gone", 0.5), "base")
+          .value();
+  std::vector<obs::BenchRow> head =
+      obs::ParseBenchRows(
+          BenchLine("tiny", 5e-7) + BenchLine("new", 0.5), "head")
+          .value();
+  obs::BenchCompareReport report = obs::CompareBench(base, head, options);
+  EXPECT_FALSE(report.HasRegressions()) << "5x on nanoseconds is noise";
+  ASSERT_EQ(report.only_base.size(), 1u);
+  EXPECT_NE(report.only_base[0].find("gone"), std::string::npos);
+  ASSERT_EQ(report.only_head.size(), 1u);
+  EXPECT_NE(report.only_head[0].find("new"), std::string::npos);
+}
+
 // --- tracing is pure observation ------------------------------------------
 
 // The acceptance bar for the whole subsystem: a traced chase is
@@ -346,6 +742,52 @@ TEST(Parity, TracedChaseIsByteIdenticalToUntraced) {
   }
 }
 
+// Same acceptance bar for the profiler and the heartbeat: with a profile
+// session active AND per-round heartbeats firing, the chase result is
+// byte-identical to a bare run at every thread count — both features are
+// pure observation.
+TEST(Parity, ProfiledHeartbeatChaseIsByteIdenticalToBare) {
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    auto run = [threads](bool observed) {
+      Vocabulary vocab;
+      Theory td = TdTheory(vocab);
+      FactSet db = EdgePath(vocab, "G", 12, "a");
+      ChaseOptions options;
+      options.max_rounds = 24;
+      options.max_atoms = 500'000;
+      options.threads = threads;
+      options.filter = TdWitnessStrategy(vocab, td);
+      size_t beats = 0;
+      if (observed) {
+        EXPECT_TRUE(obs::ProfileSession::Start().ok());
+        options.heartbeat_seconds = 1e-9;  // every round boundary
+        options.heartbeat_sink = [&beats](const ChaseHeartbeat&) { ++beats; };
+      }
+      ChaseEngine engine(vocab, td);
+      ChaseResult result = engine.Run(db, options);
+      if (observed) {
+        Result<obs::ProfileReport> report = obs::ProfileSession::Stop();
+        EXPECT_TRUE(report.ok()) << report.message();
+        if (report.ok()) {
+          EXPECT_NE(report.value().ToString().find("chase.round"),
+                    std::string::npos)
+              << "chase spans reached the profiler";
+        }
+        EXPECT_GE(beats, 1u);
+      }
+      return result;
+    };
+    ChaseResult bare = run(false);
+    ChaseResult observed = run(true);
+    ASSERT_FALSE(bare.facts.atoms().empty());
+    EXPECT_EQ(observed.facts.atoms(), bare.facts.atoms())
+        << "threads=" << threads;
+    EXPECT_EQ(observed.depth, bare.depth) << "threads=" << threads;
+    EXPECT_EQ(observed.complete_rounds, bare.complete_rounds);
+    EXPECT_EQ(observed.stop, bare.stop);
+  }
+}
+
 // The chase publishes its per-run stats into the process-wide registry
 // (the compatibility view the REPL's `.stats` command prints).
 TEST(Parity, ChaseWorkIsVisibleInDefaultRegistry) {
@@ -368,9 +810,21 @@ TEST(Parity, ChaseWorkIsVisibleInDefaultRegistry) {
             counter(before, "frontiers.chase.runs") + 1);
   EXPECT_EQ(counter(after, "frontiers.chase.rounds"),
             counter(before, "frontiers.chase.rounds") + result.stats.rounds.size());
+  EXPECT_EQ(counter(after, "frontiers.chase.matches"),
+            counter(before, "frontiers.chase.matches") +
+                result.stats.TotalMatches());
+  EXPECT_EQ(counter(after, "frontiers.chase.staged"),
+            counter(before, "frontiers.chase.staged") +
+                result.stats.TotalStaged());
   EXPECT_EQ(counter(after, "frontiers.chase.committed"),
             counter(before, "frontiers.chase.committed") +
                 result.stats.TotalCommitted());
+  EXPECT_EQ(counter(after, "frontiers.chase.preempted"),
+            counter(before, "frontiers.chase.preempted") +
+                result.stats.TotalPreempted());
+  EXPECT_EQ(counter(after, "frontiers.chase.deduped"),
+            counter(before, "frontiers.chase.deduped") +
+                result.stats.TotalDeduped());
   EXPECT_EQ(counter(after, "frontiers.chase.atoms_inserted"),
             counter(before, "frontiers.chase.atoms_inserted") +
                 result.stats.TotalInserted());
