@@ -1,6 +1,6 @@
 #include "base/fact_set.h"
 
-#include <algorithm>
+#include "base/check.h"
 
 namespace frontiers {
 
@@ -11,27 +11,119 @@ const std::vector<uint32_t>& EmptyIndex() {
 }
 }  // namespace
 
-bool FactSet::Insert(const Atom& atom) {
-  auto [it, inserted] =
-      index_of_.emplace(atom, static_cast<uint32_t>(atoms_.size()));
-  if (!inserted) return false;
-  uint32_t idx = it->second;
-  atoms_.push_back(atom);
-  by_predicate_[atom.predicate].push_back(idx);
-  for (uint32_t pos = 0; pos < atom.args.size(); ++pos) {
+std::optional<uint32_t> FactSet::FindRow(PredicateId predicate,
+                                         const TermId* terms,
+                                         uint32_t arity) const {
+  auto it = predicates_.find(predicate);
+  if (it == predicates_.end()) return std::nullopt;
+  const ColumnarSegment& seg = it->second.segment;
+  if (seg.arity() != arity) return std::nullopt;
+  uint64_t hash = HashRow(predicate, terms, arity);
+  uint32_t id = dedup_.Find(hash, [&](uint32_t candidate) {
+    return RowMatches(candidate, predicate, terms, seg);
+  });
+  if (id == RowIdSet::kNotFound) return std::nullopt;
+  return id;
+}
+
+std::optional<uint32_t> FactSet::IndexOf(const Atom& atom) const {
+  return FindRow(atom.predicate, atom.args.data(),
+                 static_cast<uint32_t>(atom.args.size()));
+}
+
+void FactSet::IndexNewAtom(uint32_t index, PredicateIndex& pidx) {
+  const Atom& atom = atoms_[index];
+  pidx.atom_ids.push_back(index);
+  const uint32_t arity = static_cast<uint32_t>(atom.args.size());
+  for (uint32_t pos = 0; pos < arity; ++pos) {
     TermId t = atom.args[pos];
-    by_position_[{atom.predicate, pos, t}].push_back(idx);
-    if (domain_set_.insert(t).second) domain_.push_back(t);
-  }
-  // Count each atom once per distinct term it mentions.
-  std::vector<TermId> seen;
-  for (TermId t : atom.args) {
-    if (std::find(seen.begin(), seen.end(), t) == seen.end()) {
-      seen.push_back(t);
-      ++atom_degree_[t];
+    pidx.by_position[pos].Append(t, index, pidx.pool);
+    // Count each atom once per distinct term it mentions; first occurrence
+    // of a term overall also defines its active-domain position.
+    bool first_in_atom = true;
+    for (uint32_t j = 0; j < pos; ++j) {
+      if (atom.args[j] == t) {
+        first_in_atom = false;
+        break;
+      }
+    }
+    if (first_in_atom) {
+      if (t >= atom_degree_.size()) {
+        size_t grown = atom_degree_.empty() ? 64 : atom_degree_.size() * 2;
+        while (grown <= t) grown *= 2;
+        atom_degree_.resize(grown, 0);
+      }
+      if (++atom_degree_[t] == 1) domain_.push_back(t);
     }
   }
-  return true;
+}
+
+FactSet::InsertOutcome FactSet::InsertRow(PredicateId predicate,
+                                          const TermId* terms,
+                                          uint32_t arity) {
+  auto [pred_it, fresh_predicate] =
+      predicates_.try_emplace(predicate, PredicateIndex(arity));
+  PredicateIndex& pidx = pred_it->second;
+  ColumnarSegment& seg = pidx.segment;
+  FRONTIERS_CHECK(seg.arity() == arity,
+                  "FactSet: predicate used at two different arities");
+  uint64_t hash = HashRow(predicate, terms, arity);
+  if (!fresh_predicate) {
+    uint32_t id = dedup_.Find(hash, [&](uint32_t candidate) {
+      return RowMatches(candidate, predicate, terms, seg);
+    });
+    if (id != RowIdSet::kNotFound) return {id, false};
+  }
+  uint32_t index = static_cast<uint32_t>(atoms_.size());
+  atoms_.push_back(Atom{predicate, std::vector<TermId>(terms, terms + arity)});
+  local_row_.push_back(static_cast<uint32_t>(seg.rows()));
+  seg.AppendRow(terms);
+  dedup_.FindOrInsert(hash, index, [](uint32_t) { return false; });
+  IndexNewAtom(index, pidx);
+  return {index, true};
+}
+
+bool FactSet::Insert(const Atom& atom) {
+  return InsertRow(atom.predicate, atom.args.data(),
+                   static_cast<uint32_t>(atom.args.size()))
+      .inserted;
+}
+
+size_t FactSet::InsertBatch(const RowBlock& block,
+                            std::vector<InsertOutcome>* outcomes,
+                            size_t max_size) {
+  // Pre-size once for the whole batch: the dedup table to its worst-case
+  // final cardinality, and each touched segment by its row count.
+  dedup_.Reserve(atoms_.size() + block.rows());
+  atoms_.reserve(atoms_.size() + block.rows());
+  local_row_.reserve(local_row_.size() + block.rows());
+  if (outcomes != nullptr) outcomes->reserve(outcomes->size() + block.rows());
+  std::unordered_map<PredicateId, size_t> per_predicate;
+  for (PredicateId p : block.predicates) ++per_predicate[p];
+  for (const auto& [predicate, count] : per_predicate) {
+    auto it = predicates_.find(predicate);
+    if (it == predicates_.end()) continue;
+    ColumnarSegment& seg = it->second.segment;
+    seg.Reserve(seg.rows() + count);
+    it->second.atom_ids.reserve(it->second.atom_ids.size() + count);
+  }
+  size_t added = 0;
+  for (size_t row = 0; row < block.rows(); ++row) {
+    if (atoms_.size() >= max_size) {
+      // At the cap only duplicates pass; the first new row truncates the
+      // batch without being consumed.
+      std::optional<uint32_t> existing =
+          FindRow(block.predicates[row], block.Terms(row), block.Arity(row));
+      if (!existing.has_value()) break;
+      if (outcomes != nullptr) outcomes->push_back({*existing, false});
+      continue;
+    }
+    InsertOutcome outcome =
+        InsertRow(block.predicates[row], block.Terms(row), block.Arity(row));
+    if (outcome.inserted) ++added;
+    if (outcomes != nullptr) outcomes->push_back(outcome);
+  }
+  return added;
 }
 
 size_t FactSet::InsertAll(const FactSet& other) {
@@ -43,16 +135,20 @@ size_t FactSet::InsertAll(const FactSet& other) {
 }
 
 const std::vector<uint32_t>& FactSet::ByPredicate(PredicateId p) const {
-  auto it = by_predicate_.find(p);
-  if (it == by_predicate_.end()) return EmptyIndex();
-  return it->second;
+  auto it = predicates_.find(p);
+  if (it == predicates_.end()) return EmptyIndex();
+  return it->second.atom_ids;
 }
 
-const std::vector<uint32_t>& FactSet::ByPredicatePositionTerm(
-    PredicateId p, uint32_t position, TermId t) const {
-  auto it = by_position_.find({p, position, t});
-  if (it == by_position_.end()) return EmptyIndex();
-  return it->second;
+PostingList FactSet::ByPredicatePositionTerm(PredicateId p, uint32_t position,
+                                             TermId t) const {
+  auto it = predicates_.find(p);
+  if (it == predicates_.end() || position >= it->second.by_position.size()) {
+    return PostingList();
+  }
+  const PostingMap::Entry* e = it->second.by_position[position].Find(t);
+  if (e == nullptr) return PostingList();
+  return PostingList(&it->second.pool, e->head, e->count);
 }
 
 bool FactSet::IsSubsetOf(const FactSet& other) const {
@@ -86,9 +182,7 @@ std::vector<Atom> FactSet::Difference(const FactSet& other) const {
 }
 
 uint32_t FactSet::AtomDegree(TermId t) const {
-  auto it = atom_degree_.find(t);
-  if (it == atom_degree_.end()) return 0;
-  return it->second;
+  return t < atom_degree_.size() ? atom_degree_[t] : 0;
 }
 
 std::string FactSet::ToString(const Vocabulary& vocab) const {

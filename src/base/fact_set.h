@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "base/atom.h"
+#include "base/columnar.h"
 #include "base/vocabulary.h"
 
 namespace frontiers {
@@ -26,6 +27,12 @@ namespace frontiers {
 /// which are the two access paths the CQ matcher and the chase's semi-naive
 /// join need.  Atoms are kept in insertion order, so iteration (and hence
 /// everything built on top, including chase runs) is deterministic.
+///
+/// Storage is columnar: each predicate's argument terms live in
+/// struct-of-arrays `ColumnarSegment` columns, and the dedup index keys by
+/// atom id into that store (a `RowIdSet` of (hash, id) slots) rather than
+/// holding a second copy of every atom.  The row-oriented `atoms()` vector
+/// is kept as the iteration-order access path.
 class FactSet {
  public:
   FactSet() = default;
@@ -33,20 +40,43 @@ class FactSet {
   /// Inserts an atom; returns true if it was new.
   bool Insert(const Atom& atom);
 
+  /// Outcome of a row-level insert: the atom's index in `atoms()` (fresh or
+  /// pre-existing) and whether this call inserted it.
+  struct InsertOutcome {
+    uint32_t index;
+    bool inserted;
+  };
+
+  /// Inserts the row `predicate(terms[0..arity))`; duplicates are detected
+  /// without materialising an `Atom`.
+  InsertOutcome InsertRow(PredicateId predicate, const TermId* terms,
+                          uint32_t arity);
+
+  /// Bulk-inserts every row of `block` in order, as if by repeated
+  /// `InsertRow`, pre-sizing the dedup table and segments once for the
+  /// whole batch.  Appends one `InsertOutcome` per row to `outcomes` (if
+  /// non-null) and returns the number of new atoms.
+  ///
+  /// `max_size` caps the store: the batch stops (without consuming the
+  /// row) at the first *new* row that would push `size()` past the cap;
+  /// duplicate rows are still recorded past the cap.  A truncated batch is
+  /// visible as `outcomes->size() < block.rows()`.
+  size_t InsertBatch(const RowBlock& block,
+                     std::vector<InsertOutcome>* outcomes,
+                     size_t max_size = SIZE_MAX);
+
+  /// Index of the row `predicate(terms[0..arity))`, if present.
+  std::optional<uint32_t> FindRow(PredicateId predicate, const TermId* terms,
+                                  uint32_t arity) const;
+
   /// Inserts every atom of `other`; returns the number of new atoms.
   size_t InsertAll(const FactSet& other);
 
   /// Membership test.
-  bool Contains(const Atom& atom) const {
-    return index_of_.find(atom) != index_of_.end();
-  }
+  bool Contains(const Atom& atom) const { return IndexOf(atom).has_value(); }
 
   /// Index of `atom` within `atoms()`, if present.
-  std::optional<uint32_t> IndexOf(const Atom& atom) const {
-    auto it = index_of_.find(atom);
-    if (it == index_of_.end()) return std::nullopt;
-    return it->second;
-  }
+  std::optional<uint32_t> IndexOf(const Atom& atom) const;
 
   /// Number of atoms.
   size_t size() const { return atoms_.size(); }
@@ -57,14 +87,26 @@ class FactSet {
   /// All atoms, in insertion order.
   const std::vector<Atom>& atoms() const { return atoms_; }
 
+  /// The columnar term store for predicate `p`, or nullptr if no atom with
+  /// that predicate has been inserted.  Row `LocalRow(i)` of the segment
+  /// holds the terms of `atoms()[i]`.
+  const ColumnarSegment* Segment(PredicateId p) const {
+    auto it = predicates_.find(p);
+    if (it == predicates_.end()) return nullptr;
+    return &it->second.segment;
+  }
+
+  /// Row of `atoms()[index]` within its predicate's segment.
+  uint32_t LocalRow(uint32_t index) const { return local_row_[index]; }
+
   /// Indices (into `atoms()`) of atoms with the given predicate.
   const std::vector<uint32_t>& ByPredicate(PredicateId p) const;
 
   /// Indices of atoms with predicate `p` whose argument at `position`
-  /// equals `t`.
-  const std::vector<uint32_t>& ByPredicatePositionTerm(PredicateId p,
-                                                       uint32_t position,
-                                                       TermId t) const;
+  /// equals `t`, in insertion order.  The view stays valid until the next
+  /// insert.
+  PostingList ByPredicatePositionTerm(PredicateId p, uint32_t position,
+                                      TermId t) const;
 
   /// The active domain: every term occurring in some atom, in first-seen
   /// order.
@@ -72,7 +114,7 @@ class FactSet {
 
   /// True if `t` occurs in some atom.
   bool ContainsTerm(TermId t) const {
-    return domain_set_.find(t) != domain_set_.end();
+    return t < atom_degree_.size() && atom_degree_[t] > 0;
   }
 
   /// True if every atom of this set is in `other`.
@@ -98,36 +140,40 @@ class FactSet {
   std::string ToString(const Vocabulary& vocab) const;
 
  private:
-  struct PosKey {
-    PredicateId predicate;
-    uint32_t position;
-    TermId term;
-    friend bool operator==(const PosKey& a, const PosKey& b) {
-      return a.predicate == b.predicate && a.position == b.position &&
-             a.term == b.term;
-    }
-  };
-  struct PosKeyHash {
-    size_t operator()(const PosKey& k) const {
-      uint64_t h = 1469598103934665603ull;
-      auto mix = [&h](uint64_t v) {
-        h ^= v;
-        h *= 1099511628211ull;
-      };
-      mix(k.predicate);
-      mix(k.position);
-      mix(k.term);
-      return static_cast<size_t>(h);
-    }
+  // Everything keyed by predicate lives in one struct, so an insert
+  // resolves the predicate once and then touches only TermId-keyed
+  // per-position maps — no composite (predicate, position, term) keys.
+  struct PredicateIndex {
+    explicit PredicateIndex(uint32_t arity)
+        : segment(arity), by_position(arity) {}
+    ColumnarSegment segment;
+    std::vector<uint32_t> atom_ids;  // indices into atoms_, in order
+    std::vector<PostingMap> by_position;  // one map per argument position
+    PostingPool pool;  // backing store for all of by_position's lists
   };
 
+  /// True if `atoms()[id]` is the row `predicate(terms[0..arity))`,
+  /// checked against the columnar segment `seg` of `predicate`.
+  bool RowMatches(uint32_t id, PredicateId predicate, const TermId* terms,
+                  const ColumnarSegment& seg) const {
+    return atoms_[id].predicate == predicate &&
+           seg.arity() == atoms_[id].args.size() &&
+           seg.RowEquals(local_row_[id], terms);
+  }
+
+  /// Shared tail of `Insert`/`InsertRow`/`InsertBatch`: index maintenance
+  /// for the freshly appended atom at `index`.
+  void IndexNewAtom(uint32_t index, PredicateIndex& pidx);
+
   std::vector<Atom> atoms_;
-  std::unordered_map<Atom, uint32_t, AtomHash> index_of_;
-  std::unordered_map<PredicateId, std::vector<uint32_t>> by_predicate_;
-  std::unordered_map<PosKey, std::vector<uint32_t>, PosKeyHash> by_position_;
+  std::vector<uint32_t> local_row_;  // parallel to atoms_
+  std::unordered_map<PredicateId, PredicateIndex> predicates_;
+  RowIdSet dedup_;
   std::vector<TermId> domain_;
-  std::unordered_set<TermId> domain_set_;
-  std::unordered_map<TermId, uint32_t> atom_degree_;
+  // Degree indexed directly by TermId (term ids are dense vocabulary
+  // indices); doubles as domain membership — a term is in the active
+  // domain iff its degree is non-zero (degrees are never decremented).
+  std::vector<uint32_t> atom_degree_;
 };
 
 }  // namespace frontiers

@@ -8,15 +8,14 @@ namespace frontiers {
 
 namespace {
 
-// Encodes a Skolem term key as a compact string: fn id followed by the raw
-// argument ids.  String keys keep the hash-consing table simple and fully
-// deterministic.
-std::string SkolemKey(SkolemFnId fn, const std::vector<TermId>& args) {
+// Encodes a Skolem block key: the raw function-id tuple.  Block
+// registration is once-per-rule cold path, so a string key is fine here;
+// the per-row and per-term hot paths probe id-keyed tables instead.
+std::string SkolemBlockKey(const std::vector<SkolemFnId>& fns) {
   std::string key;
-  key.reserve(4 + 4 * args.size());
-  key.append(reinterpret_cast<const char*>(&fn), sizeof(fn));
-  for (TermId a : args) {
-    key.append(reinterpret_cast<const char*>(&a), sizeof(a));
+  key.reserve(4 * fns.size());
+  for (SkolemFnId f : fns) {
+    key.append(reinterpret_cast<const char*>(&f), sizeof(f));
   }
   return key;
 }
@@ -96,10 +95,12 @@ TermId Vocabulary::SkolemTerm(SkolemFnId fn, const std::vector<TermId>& args) {
       "Skolem term arity mismatch for function " + skolem_fns_[fn].signature +
           ": got " + std::to_string(args.size()) + " arguments, expected " +
           std::to_string(skolem_fns_[fn].arity));
-  std::string key = SkolemKey(fn, args);
-  auto it = skolem_term_index_.find(key);
-  if (it != skolem_term_index_.end()) return it->second;
-  TermId id = static_cast<TermId>(terms_.size());
+  uint64_t hash = HashIdSpan(fn, args.data(), args.size());
+  TermId next = static_cast<TermId>(terms_.size());
+  TermId id = skolem_term_index_.FindOrInsert(hash, next, [&](TermId t) {
+    return SkolemTermEquals(t, fn, args);
+  });
+  if (id != next) return id;
   TermData data;
   data.kind = TermKind::kSkolem;
   data.fn = fn;
@@ -108,8 +109,55 @@ TermId Vocabulary::SkolemTerm(SkolemFnId fn, const std::vector<TermId>& args) {
   for (TermId a : args) depth = std::max(depth, terms_[a].depth);
   data.depth = depth + 1;
   terms_.push_back(std::move(data));
-  skolem_term_index_.emplace(std::move(key), id);
   return id;
+}
+
+uint32_t Vocabulary::SkolemBlock(const std::vector<SkolemFnId>& fns) {
+  FRONTIERS_CHECK(!fns.empty(), "Skolem block must have at least one fn");
+  uint32_t arity = skolem_fns_[fns[0]].arity;
+  for (SkolemFnId f : fns) {
+    FRONTIERS_CHECK(skolem_fns_[f].arity == arity,
+                    "Skolem block functions must share one arity");
+  }
+  std::string key = SkolemBlockKey(fns);
+  auto it = skolem_block_index_.find(key);
+  if (it != skolem_block_index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(skolem_blocks_.size());
+  skolem_blocks_.push_back({static_cast<uint32_t>(skolem_block_fns_.size()),
+                            static_cast<uint32_t>(fns.size()), arity});
+  skolem_block_fns_.insert(skolem_block_fns_.end(), fns.begin(), fns.end());
+  skolem_block_index_.emplace(std::move(key), id);
+  return id;
+}
+
+const TermId* Vocabulary::SkolemRow(uint32_t block,
+                                    const std::vector<TermId>& args) {
+  const SkolemBlockData& data = skolem_blocks_[block];
+  FRONTIERS_CHECK(data.arity == args.size(),
+                  "Skolem row arity mismatch for block");
+  // One probe keyed by (block, args).  Rows of the same block share the
+  // argument tuple across all their terms, so equality checks the block id
+  // and the first term's argument vector.
+  uint64_t hash = HashIdSpan(block, args.data(), args.size());
+  uint32_t next = static_cast<uint32_t>(skolem_rows_.size());
+  uint32_t row = skolem_row_index_.FindOrInsert(hash, next, [&](uint32_t r) {
+    const SkolemRowData& existing = skolem_rows_[r];
+    return existing.block == block &&
+           terms_[skolem_row_terms_[existing.terms_offset]].args == args;
+  });
+  if (row != next) {
+    return skolem_row_terms_.data() + skolem_rows_[row].terms_offset;
+  }
+  // Miss: intern each null through the per-term hash-consing table, so the
+  // row agrees with any prior `SkolemTerm` calls (isomorphic heads in
+  // other rules may already have created some of these terms).
+  uint32_t offset = static_cast<uint32_t>(skolem_row_terms_.size());
+  const SkolemFnId* fns = skolem_block_fns_.data() + data.fns_offset;
+  for (uint32_t i = 0; i < data.size; ++i) {
+    skolem_row_terms_.push_back(SkolemTerm(fns[i], args));
+  }
+  skolem_rows_.push_back({block, offset});
+  return skolem_row_terms_.data() + offset;
 }
 
 SkolemFnId Vocabulary::SkolemFunction(std::string_view signature,

@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/hash_table.h"
+
 namespace frontiers {
 
 /// Identifier of a relation symbol within a Vocabulary.
@@ -111,6 +113,33 @@ class Vocabulary {
   /// canonical for the head isomorphism type + position, per Definition 4.
   SkolemFnId SkolemFunction(std::string_view signature, uint32_t arity);
 
+  // --- Skolem blocks --------------------------------------------------------
+  //
+  // A rule head with k > 0 existentials owns the Skolem function tuple
+  // (f_1, ..., f_k), all applied to the same frontier argument tuple.  The
+  // chase's commit phase registers that tuple once as a *block* and then
+  // interns each application's k nulls as one row — a single hash probe per
+  // application instead of one string-keyed lookup per null.  Rows are
+  // hash-consed against the per-term table too, so `SkolemTerm(f_i, args)`
+  // and `SkolemRow(block, args)[i]` always agree (Observation 8 still
+  // holds across blocks and rules sharing isomorphic heads).
+
+  /// Registers the Skolem function tuple `fns` (all arities must match) as
+  /// a block; tuples with identical contents share a block id.  `fns` must
+  /// be non-empty.
+  uint32_t SkolemBlock(const std::vector<SkolemFnId>& fns);
+
+  /// Number of functions in a block.
+  uint32_t SkolemBlockSize(uint32_t block) const {
+    return skolem_blocks_[block].size;
+  }
+
+  /// Interns (or finds) the row of Skolem nulls `f_i(args)` for every
+  /// `f_i` of `block`, with one probe on the hit path.  Returns a pointer
+  /// to `SkolemBlockSize(block)` TermIds, valid until the next mutating
+  /// call on this vocabulary — copy out what you need.
+  const TermId* SkolemRow(uint32_t block, const std::vector<TermId>& args);
+
   /// Kind of a term.
   TermKind Kind(TermId t) const { return terms_[t].kind; }
 
@@ -172,6 +201,23 @@ class Vocabulary {
     std::string signature;
     uint32_t arity;
   };
+  struct SkolemBlockData {
+    uint32_t fns_offset;  // into skolem_block_fns_
+    uint32_t size;
+    uint32_t arity;  // shared arity of every fn in the block
+  };
+  struct SkolemRowData {
+    uint32_t block;
+    uint32_t terms_offset;  // into skolem_row_terms_
+  };
+
+  /// True if term `t` is the Skolem term `fn(args...)`.
+  bool SkolemTermEquals(TermId t, SkolemFnId fn,
+                        const std::vector<TermId>& args) const {
+    const TermData& data = terms_[t];
+    return data.kind == TermKind::kSkolem && data.fn == fn &&
+           data.args == args;
+  }
 
   std::vector<PredicateData> predicates_;
   std::unordered_map<std::string, PredicateId> predicate_index_;
@@ -183,8 +229,17 @@ class Vocabulary {
 
   std::vector<SkolemFnData> skolem_fns_;
   std::unordered_map<std::string, SkolemFnId> skolem_fn_index_;
-  // Hash-consing table for Skolem terms: key encodes (fn, args).
-  std::unordered_map<std::string, TermId> skolem_term_index_;
+  // Hash-consing table for Skolem terms: an id-keyed open-addressing set
+  // probing (fn, args) directly against `terms_` — no key copies.
+  IdHashSet skolem_term_index_;
+
+  // Skolem blocks (rule-head existential tuples) and their interned rows.
+  std::vector<SkolemBlockData> skolem_blocks_;
+  std::vector<SkolemFnId> skolem_block_fns_;
+  std::unordered_map<std::string, uint32_t> skolem_block_index_;
+  std::vector<SkolemRowData> skolem_rows_;
+  std::vector<TermId> skolem_row_terms_;
+  IdHashSet skolem_row_index_;
 
   uint64_t fresh_counter_ = 0;
 };

@@ -73,9 +73,13 @@ struct ChaseMetrics {
 // thread count), portable, and cheap.  Constants approximate a 64-bit
 // libstdc++ layout: object header + hash-table slot + heap block overhead.
 
+size_t ApproxRowBytes(size_t arity) {
+  // Atom storage + columnar row + dedup slot + per-position index entries.
+  return 96 + 16 * arity;
+}
+
 size_t ApproxAtomBytes(const Atom& atom) {
-  // Atom storage + index_of_ entry + per-position index entries.
-  return 96 + 16 * atom.args.size();
+  return ApproxRowBytes(atom.args.size());
 }
 
 size_t ApproxDerivationBytes(const Derivation& d) {
@@ -278,6 +282,7 @@ ChaseEngine::ChaseEngine(Vocabulary& vocab, const Theory& theory)
     : vocab_(vocab), theory_(theory) {
   const size_t n = theory_.rules.size();
   skolemized_.reserve(n);
+  commit_layouts_.reserve(n);
   existential_positions_.reserve(n);
   head_existentials_.reserve(n);
   needs_naive_.assign(n, false);
@@ -300,6 +305,93 @@ ChaseEngine::ChaseEngine(Vocabulary& vocab, const Theory& theory)
     if (!rule.body.empty() && !rule.domain_vars.empty()) {
       needs_naive_[r] = true;
     }
+
+    // Flatten the skolemized head into the set-at-a-time commit layout.
+    const SkolemizedHead& sh = skolemized_[r];
+    CommitLayout layout;
+    layout.commit_vars = rule.head_universal_vars;
+    std::unordered_map<TermId, uint32_t> slot_of;
+    for (uint32_t i = 0; i < layout.commit_vars.size(); ++i) {
+      slot_of.emplace(layout.commit_vars[i], i);
+    }
+    layout.fn_arg_slots.reserve(sh.fn_args.size());
+    for (TermId v : sh.fn_args) {
+      auto it = slot_of.find(v);
+      FRONTIERS_CHECK(it != slot_of.end(),
+                      "Skolem argument of rule '" + rule.name +
+                          "' is not a head-universal variable");
+      layout.fn_arg_slots.push_back(it->second);
+    }
+    // Existential order = first occurrence in the head, the same order the
+    // lazy per-atom interning produced, so TermId assignment is unchanged.
+    std::unordered_map<TermId, uint32_t> ex_index;
+    std::vector<SkolemFnId> block_fns;
+    layout.head.reserve(rule.head.size());
+    for (const Atom& head_atom : rule.head) {
+      HeadAtomLayout atom_layout;
+      atom_layout.predicate = head_atom.predicate;
+      atom_layout.slots.reserve(head_atom.args.size());
+      for (TermId t : head_atom.args) {
+        auto fn = sh.fn_of.find(t);
+        if (fn != sh.fn_of.end()) {
+          auto [it, fresh] =
+              ex_index.emplace(t, static_cast<uint32_t>(block_fns.size()));
+          if (fresh) block_fns.push_back(fn->second);
+          atom_layout.slots.push_back(
+              {HeadSlot::kExistential, it->second});
+        } else if (auto slot = slot_of.find(t); slot != slot_of.end()) {
+          atom_layout.slots.push_back({HeadSlot::kBinding, slot->second});
+        } else {
+          atom_layout.slots.push_back({HeadSlot::kRigid, t});
+        }
+      }
+      layout.head.push_back(std::move(atom_layout));
+    }
+    if (!block_fns.empty()) {
+      layout.skolem_block = vocab_.SkolemBlock(block_fns);
+    }
+    commit_layouts_.push_back(std::move(layout));
+  }
+}
+
+void ChaseEngine::ExpandHead(size_t rule_index,
+                             const std::vector<TermId>& bindings,
+                             std::vector<TermId>& fn_args_scratch,
+                             RowBlock* out) const {
+  const CommitLayout& layout = commit_layouts_[rule_index];
+  const TermId* nulls = nullptr;
+  if (layout.skolem_block != kNoSkolemBlock) {
+    fn_args_scratch.clear();
+    for (uint32_t slot : layout.fn_arg_slots) {
+      fn_args_scratch.push_back(bindings[slot]);
+    }
+    // One probe interns (or finds) every null of this application.  The
+    // returned pointer stays valid through the row appends below: nothing
+    // mutates the vocabulary until the next ExpandHead call.
+    nulls = vocab_.SkolemRow(layout.skolem_block, fn_args_scratch);
+  }
+  for (const HeadAtomLayout& atom_layout : layout.head) {
+    const size_t arity = atom_layout.slots.size();
+    const size_t offset = out->terms.size();
+    out->terms.resize(offset + arity);
+    TermId* row = out->terms.data() + offset;
+    for (size_t pos = 0; pos < arity; ++pos) {
+      const HeadSlot slot = atom_layout.slots[pos];
+      switch (slot.kind) {
+        case HeadSlot::kBinding:
+          row[pos] = bindings[slot.index];
+          break;
+        case HeadSlot::kRigid:
+          row[pos] = slot.index;
+          break;
+        case HeadSlot::kExistential:
+          row[pos] = nulls[slot.index];
+          break;
+      }
+    }
+    if (out->offsets.empty()) out->offsets.push_back(0);
+    out->predicates.push_back(atom_layout.predicate);
+    out->offsets.push_back(static_cast<uint32_t>(out->terms.size()));
   }
 }
 
@@ -341,40 +433,40 @@ std::vector<Atom> ChaseEngine::ApplyRule(size_t rule_index,
 namespace {
 
 // A staged rule application produced while scanning one round.  The head is
-// *not* yet instantiated: `ApplyRule` interns Skolem terms in the shared
+// *not* yet instantiated: committing interns Skolem terms in the shared
 // Vocabulary, so it is deferred to the single-threaded commit phase (see
-// DESIGN.md, "Parallel round pipeline").
+// DESIGN.md, "Parallel round pipeline").  The match substitution is
+// projected onto the rule's head-universal variables (`commit_vars`) — a
+// flat tuple instead of a hash map — which is all the commit phase needs:
+// it serves the frontier key, the Skolem arguments, the head expansion,
+// and the restricted recheck.
 struct StagedApplication {
   size_t rule_index;
-  Substitution sigma;
+  std::vector<TermId> bindings;
   std::vector<uint32_t> parents;
-  // Restricted variant only: the head's universal-variable binding, for
-  // the commit-time satisfaction recheck.
-  Substitution head_initial;
   // Identity of the application under semi-oblivious naming: the rule plus
-  // sigma's head-universal projection (equal keys produce identical head
-  // atoms).  Built in the parallel phase; the commit phase keeps only the
-  // first application per key.  Empty when dedup is off.
+  // the binding tuple (equal keys produce identical head atoms).  Built in
+  // the parallel phase; the commit phase keeps only the first application
+  // per key.  Empty when dedup is off.
   std::string frontier_key;
 };
 
 // Byte estimate of one staged application, for the mid-round budget check.
 size_t ApproxStagedBytes(const StagedApplication& app) {
-  return 96 + 48 * app.sigma.size() + 4 * app.parents.size() +
-         app.frontier_key.size() + 48 * app.head_initial.size();
+  return 96 + 8 * app.bindings.size() + 4 * app.parents.size() +
+         app.frontier_key.size();
 }
 
-// Encodes (rule, head-universal projection of sigma) as raw bytes.
-std::string FrontierKey(size_t rule_index, const Tgd& rule,
-                        const Substitution& sigma) {
+// Encodes (rule, head-universal binding tuple) as raw bytes; byte-for-byte
+// the same encoding the sigma-projecting version produced, so snapshots
+// with `seen_applications` sets interoperate across engine versions.
+std::string FrontierKey(size_t rule_index,
+                        const std::vector<TermId>& bindings) {
   std::string key;
-  key.reserve(sizeof(rule_index) +
-              sizeof(TermId) * rule.head_universal_vars.size());
+  key.reserve(sizeof(rule_index) + sizeof(TermId) * bindings.size());
   key.append(reinterpret_cast<const char*>(&rule_index), sizeof(rule_index));
-  for (TermId v : rule.head_universal_vars) {
-    TermId value = Apply(sigma, v);
-    key.append(reinterpret_cast<const char*>(&value), sizeof(value));
-  }
+  key.append(reinterpret_cast<const char*>(bindings.data()),
+             sizeof(TermId) * bindings.size());
   return key;
 }
 
@@ -391,7 +483,10 @@ struct MatchUnit {
   Kind kind = kNaive;
   bool use_delta = false;  // kDomain: only stage tuples touching new terms
   size_t seed_pos = 0;     // kDelta: which body atom is seeded
-  size_t delta_begin = 0;  // kDelta: range into the round's delta atoms
+  // kDelta: the round's delta atom ids of the seed's predicate (grouped
+  // once per round, order-preserving), and the chunk this unit covers.
+  const std::vector<uint32_t>* seed_list = nullptr;
+  size_t delta_begin = 0;
   size_t delta_end = 0;
 };
 
@@ -615,6 +710,7 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
   Clock::time_point next_heartbeat = run_start + heartbeat_interval;
   Clock::time_point last_heartbeat_time = run_start;
   uint64_t last_heartbeat_facts = result.facts.size();
+  uint64_t last_heartbeat_bytes = live_bytes;
   auto emit_heartbeat = [&](uint32_t completed_rounds,
                             const char* stop_name) {
     const Clock::time_point now = Clock::now();
@@ -631,10 +727,31 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
       hb.budget_remaining_seconds =
           std::max(0.0, options.deadline_seconds - hb.elapsed_seconds);
     }
+    // ETA: the minimum over every *active* budget's projection — atom
+    // budget at the current fact rate, deadline remaining, byte budget at
+    // the current byte rate.  Stays null only when no budget gives a
+    // basis (e.g. a fixpoint-bound run with no observed progress).
+    auto consider_eta = [&hb](double candidate) {
+      if (candidate >= 0 && (hb.eta_seconds < 0 || candidate < hb.eta_seconds)) {
+        hb.eta_seconds = candidate;
+      }
+    };
     if (hb.facts_per_second > 0 && options.max_atoms > hb.facts) {
-      hb.eta_seconds =
-          static_cast<double>(options.max_atoms - hb.facts) /
-          hb.facts_per_second;
+      consider_eta(static_cast<double>(options.max_atoms - hb.facts) /
+                   hb.facts_per_second);
+    }
+    if (options.deadline_seconds > 0) {
+      consider_eta(hb.budget_remaining_seconds);
+    }
+    if (options.max_bytes > 0) {
+      if (live_bytes >= options.max_bytes) {
+        consider_eta(0.0);
+      } else if (dt > 0 && live_bytes > last_heartbeat_bytes) {
+        const double bytes_per_second =
+            static_cast<double>(live_bytes - last_heartbeat_bytes) / dt;
+        consider_eta(static_cast<double>(options.max_bytes - live_bytes) /
+                     bytes_per_second);
+      }
     }
     hb.stop = stop_name;
     if (options.heartbeat_sink) {
@@ -644,6 +761,7 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
     }
     last_heartbeat_time = now;
     last_heartbeat_facts = hb.facts;
+    last_heartbeat_bytes = live_bytes;
   };
 
   auto finish = [&](ChaseStop stop, uint32_t complete_rounds) {
@@ -697,6 +815,12 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
 
   uint32_t round = state.round;
   bool atom_budget_hit = false;
+  // Commit-phase scratch, reused across rounds so big rounds don't pay a
+  // fresh geometric-growth allocation chain every round.
+  RowBlock pending;
+  std::vector<uint32_t> surviving;
+  std::vector<FactSet::InsertOutcome> outcomes;
+  std::vector<TermId> fn_args_scratch;
   while (round < options.max_rounds && !atom_budget_hit) {
     if (governed) {
       if (std::optional<ChaseStop> stop = boundary_stop()) {
@@ -752,14 +876,20 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
     };
 
     // ---- Plan the round's match units -----------------------------------
+    // Group the round's delta atoms by predicate once (order-preserving),
+    // so each seeded unit scans only the rows its body atom can match
+    // instead of skipping wrong-predicate atoms one by one.  Grouping
+    // preserves the per-predicate delta order, so the concatenated staging
+    // order is unchanged.
+    std::unordered_map<PredicateId, std::vector<uint32_t>> delta_by_pred;
+    if (options.semi_naive && round > 0) {
+      for (uint32_t idx : delta_atoms) {
+        delta_by_pred[result.facts.atoms()[idx].predicate].push_back(idx);
+      }
+    }
     // Chunking delta seeds bounds the serial tail; the chunk size affects
     // only unit *boundaries*, never the concatenated staging order.
     std::vector<MatchUnit> units;
-    const size_t delta_chunk =
-        num_threads > 1
-            ? std::max<size_t>(1, (delta_atoms.size() + num_threads * 4 - 1) /
-                                      (num_threads * 4))
-            : std::max<size_t>(1, delta_atoms.size());
     for (size_t r = 0; r < theory_.rules.size(); ++r) {
       const Tgd& rule = theory_.rules[r];
       // Stage-dependent filters can start accepting an application that
@@ -791,17 +921,26 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
         units.push_back(unit);
         continue;
       }
-      // Semi-naive: seed each body atom with each delta atom in turn, then
-      // complete the match against the full current stage.  Matches seen
-      // through several seeds stage duplicate applications, which collapse
-      // at insertion.
+      // Semi-naive: seed each body atom with each delta atom of its
+      // predicate in turn, then complete the match against the full
+      // current stage.  Matches seen through several seeds stage duplicate
+      // applications, which collapse at insertion.
       unit.kind = MatchUnit::kDelta;
       for (size_t j = 0; j < rule.body.size(); ++j) {
+        auto seeds = delta_by_pred.find(rule.body[j].predicate);
+        if (seeds == delta_by_pred.end()) continue;
+        const std::vector<uint32_t>& seed_list = seeds->second;
+        const size_t chunk =
+            num_threads > 1
+                ? std::max<size_t>(1, (seed_list.size() + num_threads * 4 -
+                                       1) /
+                                          (num_threads * 4))
+                : seed_list.size();
         unit.seed_pos = j;
-        for (size_t begin = 0; begin < delta_atoms.size();
-             begin += delta_chunk) {
+        unit.seed_list = &seed_list;
+        for (size_t begin = 0; begin < seed_list.size(); begin += chunk) {
           unit.delta_begin = begin;
-          unit.delta_end = std::min(begin + delta_chunk, delta_atoms.size());
+          unit.delta_end = std::min(begin + chunk, seed_list.size());
           units.push_back(unit);
         }
       }
@@ -815,6 +954,7 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
       // Per-unit span, recorded into the worker's own trace buffer.
       obs::Span unit_span("chase.unit", "chase");
       const Tgd& rule = theory_.rules[unit.rule_index];
+      const CommitLayout& layout = commit_layouts_[unit.rule_index];
       uint64_t poll_counter = 0;
       // Returns false to stop the enumeration early (budget trip or
       // cancellation); the partially filled buffer is discarded with the
@@ -830,19 +970,26 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
           return true;
         }
         StagedApplication app;
+        app.rule_index = unit.rule_index;
+        // Project sigma onto the head-universal tuple once; everything the
+        // commit phase needs is derived from this flat vector.
+        app.bindings.reserve(layout.commit_vars.size());
+        for (TermId v : layout.commit_vars) {
+          app.bindings.push_back(Apply(sigma, v));
+        }
         if (options.variant == ChaseVariant::kRestricted) {
           // Fire only when the head is not already witnessed in the stage;
           // re-checked at commit time so applications earlier in the same
           // round can preempt later ones (the sequential-chase behaviour).
-          for (TermId v : rule.head_universal_vars) {
-            app.head_initial.emplace(v, Apply(sigma, v));
+          Substitution head_initial;
+          for (size_t i = 0; i < layout.commit_vars.size(); ++i) {
+            head_initial.emplace(layout.commit_vars[i], app.bindings[i]);
           }
           if (matcher.Exists(rule.head, head_existentials_[unit.rule_index],
-                             app.head_initial)) {
+                             head_initial)) {
             return true;
           }
         }
-        app.rule_index = unit.rule_index;
         if (provenance) {
           app.parents.reserve(rule.body.size());
           for (const Atom& body_atom : rule.body) {
@@ -861,9 +1008,8 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
           }
         }
         if (!options.record_all_derivations) {
-          app.frontier_key = FrontierKey(unit.rule_index, rule, sigma);
+          app.frontier_key = FrontierKey(unit.rule_index, app.bindings);
         }
-        app.sigma = sigma;
         if (governed) {
           staged_bytes.fetch_add(ApproxStagedBytes(app),
                                  std::memory_order_relaxed);
@@ -918,10 +1064,8 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
           }
           for (size_t di = unit.delta_begin; di < unit.delta_end; ++di) {
             if (governed && aborting()) break;
-            const Atom& fact = result.facts.atoms()[delta_atoms[di]];
-            if (fact.predicate != rule.body[unit.seed_pos].predicate) {
-              continue;
-            }
+            // seed_list holds only atoms of the seed's predicate.
+            const Atom& fact = result.facts.atoms()[(*unit.seed_list)[di]];
             Substitution seed;
             if (!UnifyAtomWithFact(rule.body[unit.seed_pos], fact, mappable,
                                    seed)) {
@@ -1025,92 +1169,175 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
     }
 
     std::vector<uint32_t> new_delta_atoms;
-    std::vector<TermId> new_delta_terms;
-    std::unordered_set<TermId> known_terms(result.facts.Domain().begin(),
-                                           result.facts.Domain().end());
-    // One matcher for every commit-time recheck: FactSet keeps its indexes
-    // incrementally up to date on Insert and the matcher reads them live,
-    // so applications committed earlier this round are visible — without
-    // the old per-application matcher rebuild.
-    Matcher commit_matcher(vocab_, result.facts);
-    for (const StagedApplication& app : staged) {
-      if (!options.record_all_derivations) {
-        if (!result.seen_applications.insert(app.frontier_key).second) {
-          ++round_stats.deduped;
-          continue;
+    const size_t domain_before = result.facts.Domain().size();
+
+    // Bookkeeping for one head row's insert outcome — depth, delta,
+    // provenance, births — shared by the bulk (semi-oblivious) and
+    // per-application (restricted) commit paths.
+    auto record_row = [&](const StagedApplication& app, size_t head_atom,
+                          FactSet::InsertOutcome out, const TermId* terms,
+                          uint32_t arity) {
+      if (out.inserted) {
+        ++round_stats.atoms_inserted;
+        live_bytes += ApproxRowBytes(arity);
+        result.depth.push_back(round + 1);
+        new_delta_atoms.push_back(out.index);
+        if (provenance) {
+          Derivation d{app.rule_index, app.parents};
+          live_bytes += ApproxDerivationBytes(d);
+          result.first_derivation.push_back(std::move(d));
         }
-        live_bytes += ApproxKeyBytes(app.frontier_key);
+        if (options.record_all_derivations) {
+          Derivation d{app.rule_index, app.parents};
+          live_bytes += ApproxDerivationBytes(d);
+          result.all_derivations.push_back({std::move(d)});
+        }
+        const std::vector<bool>& ex =
+            existential_positions_[app.rule_index][head_atom];
+        for (uint32_t pos = 0; pos < arity; ++pos) {
+          if (ex[pos] && result.birth_atom.find(terms[pos]) ==
+                             result.birth_atom.end()) {
+            result.birth_atom.emplace(terms[pos], out.index);
+          }
+        }
+      } else if (options.record_all_derivations) {
+        Derivation d{app.rule_index, app.parents};
+        std::vector<Derivation>& list = result.all_derivations[out.index];
+        bool duplicate = false;
+        for (const Derivation& existing : list) {
+          if (existing.rule_index == d.rule_index &&
+              existing.parents == d.parents) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) {
+          live_bytes += ApproxDerivationBytes(d);
+          list.push_back(std::move(d));
+        }
       }
-      if (options.variant == ChaseVariant::kRestricted) {
+    };
+
+    if (options.variant == ChaseVariant::kRestricted) {
+      // The restricted recheck needs every earlier application of this
+      // round already inserted, so commits stay one application at a time.
+      // One matcher for every recheck: FactSet keeps its indexes
+      // incrementally up to date and the matcher reads them live.
+      Matcher commit_matcher(vocab_, result.facts);
+      RowBlock app_rows;
+      Substitution head_initial;
+      if (!options.record_all_derivations) {
+        result.seen_applications.reserve(result.seen_applications.size() +
+                                         staged.size());
+      }
+      for (StagedApplication& app : staged) {
+        if (!options.record_all_derivations) {
+          const uint64_t key_bytes = ApproxKeyBytes(app.frontier_key);
+          if (!result.seen_applications.insert(std::move(app.frontier_key))
+                   .second) {
+            ++round_stats.deduped;
+            continue;
+          }
+          live_bytes += key_bytes;
+        }
+        const CommitLayout& layout = commit_layouts_[app.rule_index];
+        head_initial.clear();
+        for (size_t i = 0; i < layout.commit_vars.size(); ++i) {
+          head_initial.emplace(layout.commit_vars[i], app.bindings[i]);
+        }
         if (commit_matcher.Exists(theory_.rules[app.rule_index].head,
                                   head_existentials_[app.rule_index],
-                                  app.head_initial)) {
+                                  head_initial)) {
           // An earlier application this round satisfied the head.
           ++round_stats.preempted;
           continue;
         }
-      }
-      ++round_stats.committed;
-      // Skolem interning happens here, on the calling thread, in merged
-      // (deterministic) order.
-      const std::vector<Atom> atoms = ApplyRule(app.rule_index, app.sigma);
-      const std::vector<std::vector<bool>>& ex_positions =
-          existential_positions_[app.rule_index];
-      for (size_t a = 0; a < atoms.size(); ++a) {
-        const Atom& atom = atoms[a];
-        // Enforce the atom budget per inserted atom, not per application:
-        // the result never exceeds max_atoms, even mid-head.
-        if (result.facts.size() >= options.max_atoms &&
-            !result.facts.Contains(atom)) {
-          atom_budget_hit = true;
-          break;
-        }
-        bool inserted = result.facts.Insert(atom);
-        uint32_t idx = *result.facts.IndexOf(atom);
-        if (inserted) {
-          ++round_stats.atoms_inserted;
-          live_bytes += ApproxAtomBytes(atom);
-          result.depth.push_back(round + 1);
-          new_delta_atoms.push_back(idx);
-          if (provenance) {
-            Derivation d{app.rule_index, app.parents};
-            live_bytes += ApproxDerivationBytes(d);
-            result.first_derivation.push_back(std::move(d));
-          }
-          if (options.record_all_derivations) {
-            Derivation d{app.rule_index, app.parents};
-            live_bytes += ApproxDerivationBytes(d);
-            result.all_derivations.push_back({std::move(d)});
-          }
-          for (size_t pos = 0; pos < atom.args.size(); ++pos) {
-            TermId t = atom.args[pos];
-            if (known_terms.insert(t).second) {
-              new_delta_terms.push_back(t);
-            }
-            if (ex_positions[a][pos] &&
-                result.birth_atom.find(t) == result.birth_atom.end()) {
-              result.birth_atom.emplace(t, idx);
-            }
-          }
-        } else if (options.record_all_derivations) {
-          Derivation d{app.rule_index, app.parents};
-          std::vector<Derivation>& list = result.all_derivations[idx];
-          bool duplicate = false;
-          for (const Derivation& existing : list) {
-            if (existing.rule_index == d.rule_index &&
-                existing.parents == d.parents) {
-              duplicate = true;
+        ++round_stats.committed;
+        app_rows.Clear();
+        ExpandHead(app.rule_index, app.bindings, fn_args_scratch, &app_rows);
+        for (size_t a = 0; a < app_rows.rows(); ++a) {
+          const TermId* terms = app_rows.Terms(a);
+          const uint32_t arity = app_rows.Arity(a);
+          const PredicateId pred = app_rows.predicates[a];
+          // Enforce the atom budget per inserted atom, not per
+          // application: the result never exceeds max_atoms, even
+          // mid-head.
+          if (result.facts.size() >= options.max_atoms) {
+            std::optional<uint32_t> existing =
+                result.facts.FindRow(pred, terms, arity);
+            if (!existing.has_value()) {
+              atom_budget_hit = true;
               break;
             }
+            record_row(app, a, {*existing, false}, terms, arity);
+            continue;
           }
-          if (!duplicate) {
-            live_bytes += ApproxDerivationBytes(d);
-            list.push_back(std::move(d));
-          }
+          record_row(app, a, result.facts.InsertRow(pred, terms, arity),
+                     terms, arity);
         }
+        if (atom_budget_hit) break;
       }
-      if (atom_budget_hit) break;
+    } else {
+      // Semi-oblivious: set-at-a-time.  Phase 1 expands every surviving
+      // application into one columnar pending block (frontier dedup plus
+      // one block-Skolem probe per application); phase 2 bulk-inserts the
+      // block against the store's indexes; phase 3 replays the per-row
+      // outcomes for depth/provenance/birth bookkeeping.  All three phases
+      // walk the merged staging order, so the result is byte-identical to
+      // committing one atom at a time.
+      pending.Clear();
+      surviving.clear();
+      surviving.reserve(staged.size());
+      if (!options.record_all_derivations) {
+        result.seen_applications.reserve(result.seen_applications.size() +
+                                         staged.size());
+      }
+      for (uint32_t s = 0; s < staged.size(); ++s) {
+        StagedApplication& app = staged[s];
+        if (!options.record_all_derivations) {
+          const uint64_t key_bytes = ApproxKeyBytes(app.frontier_key);
+          if (!result.seen_applications.insert(std::move(app.frontier_key))
+                   .second) {
+            ++round_stats.deduped;
+            continue;
+          }
+          live_bytes += key_bytes;
+        }
+        ExpandHead(app.rule_index, app.bindings, fn_args_scratch, &pending);
+        surviving.push_back(s);
+      }
+      outcomes.clear();
+      const size_t added =
+          result.facts.InsertBatch(pending, &outcomes, options.max_atoms);
+      result.depth.reserve(result.depth.size() + added);
+      new_delta_atoms.reserve(added);
+      // Replay outcomes app by app.  `outcomes` is truncated exactly at
+      // the first new atom past the budget; an application reached before
+      // the truncation point still counts as committed (mirroring the
+      // per-atom loop, which incremented `committed` before inserting).
+      size_t cursor = 0;
+      for (uint32_t s : surviving) {
+        const StagedApplication& app = staged[s];
+        ++round_stats.committed;
+        const size_t head_size = commit_layouts_[app.rule_index].head.size();
+        for (size_t a = 0; a < head_size; ++a, ++cursor) {
+          if (cursor >= outcomes.size()) {
+            atom_budget_hit = true;
+            break;
+          }
+          record_row(app, a, outcomes[cursor], pending.Terms(cursor),
+                     pending.Arity(cursor));
+        }
+        if (atom_budget_hit) break;
+      }
     }
+
+    // The active domain grows in first-occurrence order, so this round's
+    // new terms are exactly the domain suffix appended during commit — no
+    // per-round known-terms set.
+    const std::vector<TermId>& domain_after = result.facts.Domain();
+    std::vector<TermId> new_delta_terms(domain_after.begin() + domain_before,
+                                        domain_after.end());
     round_stats.commit_seconds = Seconds(Clock::now() - commit_start);
     phase_span.reset();
     result.stats.rounds.push_back(round_stats);

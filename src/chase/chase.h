@@ -176,8 +176,10 @@ struct ChaseHeartbeat {
   /// Seconds left before ChaseOptions::deadline_seconds trips; negative
   /// when no deadline is installed.
   double budget_remaining_seconds = -1.0;
-  /// Estimated seconds until the atom budget fills at the recent rate;
-  /// negative when the rate is zero (no basis for an estimate).
+  /// Estimated seconds until the *first* active budget trips: the minimum
+  /// over the atom budget at the recent insertion rate, the deadline's
+  /// remaining seconds, and the byte budget at the recent growth rate.
+  /// Negative when no budget is active or no rate gives an estimate.
   double eta_seconds = -1.0;
   /// Stop reason ("fixpoint", "deadline", ...) on the final heartbeat a
   /// run emits; nullptr on periodic ones.  Points at a string literal.
@@ -357,9 +359,52 @@ class ChaseEngine {
   struct RunState;
   ChaseResult RunFromState(RunState state, const ChaseOptions& options) const;
 
+  // --- Set-at-a-time commit layout ----------------------------------------
+  // The commit phase expands staged applications from a flat binding tuple
+  // (the values of `commit_vars` under the match substitution) straight
+  // into columnar pending rows, without materialising a Substitution or an
+  // Atom per head.  All existential nulls of one application intern as a
+  // single Skolem block row (one hash probe per application).
+
+  struct HeadSlot {
+    enum Kind : uint8_t {
+      kBinding,      // value = bindings[index]
+      kRigid,        // value = the TermId `index` itself (constants)
+      kExistential,  // value = skolem row term `index`
+    };
+    Kind kind;
+    uint32_t index;
+  };
+  struct HeadAtomLayout {
+    PredicateId predicate;
+    std::vector<HeadSlot> slots;  // one per argument position
+  };
+  struct CommitLayout {
+    // The binding tuple order: the rule's head-universal variables.  This
+    // matches the frontier-key projection, so one tuple serves dedup, the
+    // restricted recheck, Skolem arguments, and head expansion.
+    std::vector<TermId> commit_vars;
+    // Skolem argument positions within `commit_vars` (sh.fn_args order).
+    std::vector<uint32_t> fn_arg_slots;
+    std::vector<HeadAtomLayout> head;
+    // Skolem block for the head's existential tuple, in head-first-
+    // occurrence order (the same order the lazy per-atom interning used),
+    // or kNoSkolemBlock for Datalog rules.
+    uint32_t skolem_block = UINT32_MAX;
+  };
+  static constexpr uint32_t kNoSkolemBlock = UINT32_MAX;
+
+  /// Appends the instantiated head rows of `rule_index` under `bindings`
+  /// (values of the rule's `commit_vars`) to `out`, interning the
+  /// application's Skolem nulls as one block row.  `fn_args_scratch` is
+  /// caller-provided scratch to keep the hot path allocation-free.
+  void ExpandHead(size_t rule_index, const std::vector<TermId>& bindings,
+                  std::vector<TermId>& fn_args_scratch, RowBlock* out) const;
+
   Vocabulary& vocab_;
   Theory theory_;
   std::vector<SkolemizedHead> skolemized_;
+  std::vector<CommitLayout> commit_layouts_;
   // Per-rule, per-head-atom: which argument positions hold existential
   // variables (freshly-invented terms after skolemization).
   std::vector<std::vector<std::vector<bool>>> existential_positions_;

@@ -54,13 +54,13 @@ struct SearchState {
   const std::function<bool(const Substitution&)>& callback;
 
   // Candidate atoms (indices into target.atoms()) for pattern atom `i`
-  // under the current partial substitution, using the most selective bound
-  // position.  Returns nullptr if the atom has no bound position (caller
-  // then scans the per-predicate list).
-  const std::vector<uint32_t>* CandidatesFor(size_t i,
-                                             size_t* best_size) const {
+  // under the current partial substitution: the hash-join probe against
+  // the most selective bound position's posting list, falling back to the
+  // per-predicate scan when no position is bound.
+  PostingList CandidatesFor(size_t i) const {
     const Atom& atom = pattern[i];
-    const std::vector<uint32_t>* best = nullptr;
+    PostingList best;
+    bool constrained = false;
     size_t size = SIZE_MAX;
     for (uint32_t pos = 0; pos < atom.args.size(); ++pos) {
       TermId t = atom.args[pos];
@@ -73,19 +73,18 @@ struct SearchState {
       } else {
         continue;  // unbound mappable: no constraint at this position
       }
-      const std::vector<uint32_t>& list =
+      PostingList list =
           target.ByPredicatePositionTerm(atom.predicate, pos, value);
       if (list.size() < size) {
         size = list.size();
-        best = &list;
+        best = list;
+        constrained = true;
       }
     }
-    if (best == nullptr) {
+    if (!constrained) {
       const std::vector<uint32_t>& list = target.ByPredicate(atom.predicate);
-      size = list.size();
-      best = &list;
+      best = PostingList(list.data(), list.size());
     }
-    *best_size = size;
     return best;
   }
 
@@ -93,17 +92,16 @@ struct SearchState {
   bool Solve() {
     // Pick the unsolved atom with the fewest candidates (fail-first).
     size_t best_atom = SIZE_MAX;
-    const std::vector<uint32_t>* best_candidates = nullptr;
+    PostingList best_candidates;
     size_t best_size = SIZE_MAX;
     for (size_t i = 0; i < pattern.size(); ++i) {
       if (done[i]) continue;
-      size_t size = 0;
-      const std::vector<uint32_t>* candidates = CandidatesFor(i, &size);
-      if (size < best_size) {
-        best_size = size;
+      PostingList candidates = CandidatesFor(i);
+      if (candidates.size() < best_size) {
+        best_size = candidates.size();
         best_candidates = candidates;
         best_atom = i;
-        if (size == 0) break;
+        if (best_size == 0) break;
       }
     }
     if (best_atom == SIZE_MAX) {
@@ -112,18 +110,26 @@ struct SearchState {
     if (best_size == 0) return true;  // dead end, backtrack
     done[best_atom] = true;
     const Atom& atom = pattern[best_atom];
-    for (uint32_t idx : *best_candidates) {
-      const Atom& fact = target.atoms()[idx];
-      // Record which terms this unification binds so we can undo them.
-      std::vector<TermId> bound_here;
+    // Every candidate index comes from an access path of `atom.predicate`,
+    // so the predicate matches by construction and the arity check hoists
+    // out of the loop (a segment's arity is fixed).  Candidate terms are
+    // read straight from the predicate's columnar segment.
+    const ColumnarSegment* seg = target.Segment(atom.predicate);
+    const size_t arity = atom.args.size();
+    if (seg == nullptr || seg->arity() != arity) {
+      done[best_atom] = false;
+      return true;
+    }
+    // Terms this unification binds, so a failed attempt can undo them;
+    // hoisted out of the candidate loop to reuse its buffer.
+    std::vector<TermId> bound_here;
+    for (uint32_t idx : best_candidates) {
+      const uint32_t row = target.LocalRow(idx);
+      bound_here.clear();
       bool ok = true;
-      if (fact.predicate != atom.predicate ||
-          fact.args.size() != atom.args.size()) {
-        continue;
-      }
-      for (size_t pos = 0; pos < atom.args.size() && ok; ++pos) {
+      for (size_t pos = 0; pos < arity && ok; ++pos) {
         TermId p = atom.args[pos];
-        TermId f = fact.args[pos];
+        TermId f = seg->Term(row, static_cast<uint32_t>(pos));
         auto it = sub.find(p);
         if (it != sub.end()) {
           ok = (it->second == f);

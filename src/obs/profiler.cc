@@ -5,6 +5,7 @@
 #include <ctime>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -25,16 +26,17 @@ uint64_t ThreadCpuNanos() {
 #endif
 }
 
-// Raw per-thread call-tree node.  Children are keyed by name *pointer*:
-// span names are string literals, so within one call site the pointer is
-// stable; two literals with equal text from different translation units
-// get separate raw nodes and are merged by string at Stop().
+// Raw per-thread call-tree node.  Children are keyed by name *content*
+// (span names are string literals with static storage, so a string_view
+// over them stays valid): equal-text names from different call sites or
+// translation units share one node, and the tree shape never depends on
+// where the linker placed a literal.
 struct RawNode {
   const char* name = nullptr;
   uint64_t count = 0;
   uint64_t wall_ns = 0;
   uint64_t cpu_ns = 0;
-  std::unordered_map<const char*, size_t> children;  // name -> node index
+  std::unordered_map<std::string_view, size_t> children;  // name -> node index
 };
 
 // Sentinel node index for frames dropped by ProfileOptions::max_depth.
@@ -113,7 +115,7 @@ void MergeInto(const std::vector<RawNode>& nodes, size_t raw_index,
     if (slot == nullptr) {
       out.children.emplace_back();
       slot = &out.children.back();
-      slot->name = name;
+      slot->name = std::string(name);
     }
     MergeInto(nodes, child_index, *slot);
   }
@@ -181,7 +183,8 @@ void ProfileEnter(const char* name) {
     return;
   }
   const size_t parent = tree->stack.empty() ? 0 : tree->stack.back().node;
-  auto it = tree->nodes[parent].children.find(name);
+  const std::string_view key(name);
+  auto it = tree->nodes[parent].children.find(key);
   size_t index;
   if (it != tree->nodes[parent].children.end()) {
     index = it->second;
@@ -189,7 +192,7 @@ void ProfileEnter(const char* name) {
     index = tree->nodes.size();
     tree->nodes.emplace_back();
     tree->nodes.back().name = name;
-    tree->nodes[parent].children.emplace(name, index);
+    tree->nodes[parent].children.emplace(key, index);
   }
   tree->stack.push_back({index, NowNanos(), ThreadCpuNanos()});
 }
@@ -292,7 +295,7 @@ Result<ProfileReport> ProfileSession::Stop() {
       if (slot == nullptr) {
         report.root.children.emplace_back();
         slot = &report.root.children.back();
-        slot->name = name;
+        slot->name = std::string(name);
       }
       MergeInto(tree->nodes, child_index, *slot);
     }

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -368,6 +369,92 @@ TEST(Profiler, DepthCapFoldsFramesButStaysBalanced) {
   EXPECT_NE(text.find("depth-folded"), std::string::npos) << text;
 }
 
+// Structural skeleton of a top-down report: the indented span names, with
+// the (run-varying) timing columns stripped.  RenderNode's fixed-width
+// prefix is 45 characters.
+std::vector<std::string> TopDownStructure(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    out.push_back(line.size() > 45 ? line.substr(45) : line);
+  }
+  return out;
+}
+
+// Stack paths of a folded report, with the sample values stripped.
+std::vector<std::string> FoldedPaths(const std::string& folded) {
+  std::vector<std::string> out;
+  std::istringstream lines(folded);
+  std::string line;
+  while (std::getline(lines, line)) {
+    size_t space = line.rfind(' ');
+    out.push_back(space == std::string::npos ? line : line.substr(0, space));
+  }
+  return out;
+}
+
+// One profiled workload for the determinism test: a single-chain call tree
+// whose leaf name arrives through two *distinct* equal-text buffers, so
+// content keying (not pointer identity) decides the tree shape.  Each
+// frame spins briefly so every node has non-zero self time and therefore a
+// line in the folded output.
+obs::ProfileReport DeterminismWorkload() {
+  auto spin = [] {
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::microseconds(200);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+  };
+  static const char kLeafA[] = "prof.det.leaf";
+  static const char kLeafB[] = "prof.det.leaf";  // equal text, distinct array
+  EXPECT_TRUE(obs::ProfileSession::Start().ok());
+  {
+    obs::Span outer("prof.det.outer", "test");
+    spin();
+    obs::Span mid("prof.det.mid", "test");
+    spin();
+    {
+      obs::Span leaf(kLeafA, "test");
+      spin();
+    }
+    {
+      obs::Span leaf(kLeafB, "test");
+      spin();
+    }
+  }
+  Result<obs::ProfileReport> report = obs::ProfileSession::Stop();
+  EXPECT_TRUE(report.ok()) << report.message();
+  return report.value();
+}
+
+TEST(Profiler, IdenticalRunsRenderIdenticalStructure) {
+  const obs::ProfileReport first = DeterminismWorkload();
+  const obs::ProfileReport second = DeterminismWorkload();
+
+  // Equal-text names through different pointers land in one node.
+  const obs::ProfileNode* outer = FindChild(first.root, "prof.det.outer");
+  ASSERT_NE(outer, nullptr);
+  const obs::ProfileNode* mid = FindChild(*outer, "prof.det.mid");
+  ASSERT_NE(mid, nullptr);
+  ASSERT_EQ(mid->children.size(), 1u)
+      << "distinct buffers with equal text must share one child node";
+  EXPECT_EQ(mid->children[0].name, "prof.det.leaf");
+  EXPECT_EQ(mid->children[0].count, 2u);
+
+  // Two identical runs produce the same top-down and folded skeleton
+  // (times differ; names, nesting, and order must not).
+  EXPECT_EQ(TopDownStructure(first.ToString()),
+            TopDownStructure(second.ToString()));
+  EXPECT_EQ(FoldedPaths(first.ToFolded()), FoldedPaths(second.ToFolded()));
+  EXPECT_EQ(FoldedPaths(first.ToFolded()),
+            (std::vector<std::string>{"prof.det.outer",
+                                      "prof.det.outer;prof.det.mid",
+                                      "prof.det.outer;prof.det.mid;"
+                                      "prof.det.leaf"}));
+}
+
 // --- metrics registry ------------------------------------------------------
 
 TEST(Metrics, CounterAggregatesAcrossThreadsLikeSerialOracle) {
@@ -566,7 +653,9 @@ TEST(Heartbeat, ChaseEmitsPeriodicAndFinalHeartbeats) {
   // All but the last are periodic (no stop); the last reports the stop.
   for (size_t i = 0; i + 1 < beats.size(); ++i) {
     EXPECT_EQ(beats[i].stop, nullptr) << "beat " << i;
-    if (i > 0) EXPECT_GE(beats[i].round, beats[i - 1].round);
+    if (i > 0) {
+      EXPECT_GE(beats[i].round, beats[i - 1].round);
+    }
     EXPECT_GE(beats[i].elapsed_seconds, 0.0);
   }
   const ChaseHeartbeat& final_beat = beats.back();
@@ -581,6 +670,37 @@ TEST(Heartbeat, ChaseEmitsPeriodicAndFinalHeartbeats) {
     ASSERT_TRUE(parsed.ok()) << parsed.message();
     EXPECT_EQ(parsed.value().Find("schema")->string,
               "frontiers-heartbeat-v1");
+  }
+}
+
+TEST(Heartbeat, EtaIsMinimumOverActiveBudgets) {
+  Vocabulary vocab;
+  Theory td = TdTheory(vocab);
+  FactSet db = EdgePath(vocab, "G", 8, "a");
+  ChaseOptions options;
+  options.max_rounds = 16;
+  options.filter = TdWitnessStrategy(vocab, td);
+  options.heartbeat_seconds = 1e-9;  // fires at every round boundary
+  // A generous deadline plus a huge atom budget: the deadline's remaining
+  // time is the binding estimate, so eta_seconds must never exceed it.
+  options.deadline_seconds = 3600.0;
+  options.max_atoms = 100'000'000;
+  std::vector<ChaseHeartbeat> beats;
+  options.heartbeat_sink = [&beats](const ChaseHeartbeat& beat) {
+    beats.push_back(beat);
+  };
+  ChaseEngine engine(vocab, td);
+  engine.Run(db, options);
+  ASSERT_GE(beats.size(), 1u);
+  for (size_t i = 0; i < beats.size(); ++i) {
+    const ChaseHeartbeat& beat = beats[i];
+    ASSERT_GE(beat.budget_remaining_seconds, 0.0) << "beat " << i;
+    // The deadline is always an active budget, so an ETA exists and is
+    // bounded by the remaining deadline time (up to clock skew between
+    // the two reads).
+    ASSERT_GE(beat.eta_seconds, 0.0) << "beat " << i;
+    EXPECT_LE(beat.eta_seconds, beat.budget_remaining_seconds + 0.5)
+        << "beat " << i;
   }
 }
 

@@ -231,6 +231,21 @@ int ValidateHeartbeat(const std::string& path) {
         return fail(std::string("'") + key + "' must be null or a number");
       }
     }
+    // The ETA is the minimum over every active budget; a run with a
+    // deadline therefore always has an ETA, and it never (modulo the skew
+    // between the two clock reads) exceeds the remaining deadline time.
+    const obs::JsonValue* budget_left = beat.Find("budget_remaining_seconds");
+    const obs::JsonValue* eta = beat.Find("eta_seconds");
+    if (budget_left->IsNumber()) {
+      if (!eta->IsNumber()) {
+        return fail(
+            "'eta_seconds' is null while a deadline budget is active "
+            "('budget_remaining_seconds' is a number)");
+      }
+      if (eta->number > budget_left->number + 0.5) {
+        return fail("'eta_seconds' exceeds 'budget_remaining_seconds'");
+      }
+    }
     const obs::JsonValue* stop = beat.Find("stop");
     if (stop == nullptr || (!stop->IsNull() && !stop->IsString())) {
       return fail("'stop' must be null or a string");
