@@ -250,7 +250,8 @@ inline std::string YesNo(bool b) { return b ? "yes" : "no"; }
 /// experiment's own fixpoint/round logic.
 inline bool BudgetTripped(ChaseStop stop) {
   return stop == ChaseStop::kDeadline || stop == ChaseStop::kByteBudget ||
-         stop == ChaseStop::kCancelled || stop == ChaseStop::kAtomBudget;
+         stop == ChaseStop::kCancelled || stop == ChaseStop::kAtomBudget ||
+         stop == ChaseStop::kInjectedFault;
 }
 
 namespace internal {

@@ -1,6 +1,7 @@
 #include "base/fact_set.h"
 
 #include "base/check.h"
+#include "base/failpoint.h"
 
 namespace frontiers {
 
@@ -92,6 +93,11 @@ bool FactSet::Insert(const Atom& atom) {
 size_t FactSet::InsertBatch(const RowBlock& block,
                             std::vector<InsertOutcome>* outcomes,
                             size_t max_size) {
+  // Torture harness: a fired failpoint simulates allocation exhaustion at
+  // batch admission.  The store is left untouched and no outcomes are
+  // appended, so the caller can abandon the operation cleanly (the chase
+  // distinguishes this from a real truncation via the fired count).
+  if (FRONTIERS_FAILPOINT("fact_set.insert_batch")) return 0;
   // Pre-size once for the whole batch: the dedup table to its worst-case
   // final cardinality, and each touched segment by its row count.
   dedup_.Reserve(atoms_.size() + block.rows());

@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "base/check.h"
+#include "base/failpoint.h"
 #include "chase/snapshot.h"
 #include "hom/matcher.h"
 #include "hom/structure_ops.h"
@@ -107,6 +108,8 @@ const char* ChaseStopName(ChaseStop stop) {
       return "byte-budget";
     case ChaseStop::kCancelled:
       return "cancelled";
+    case ChaseStop::kInjectedFault:
+      return "injected-fault";
   }
   return "?";
 }
@@ -1156,6 +1159,17 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
     // insertions, in exchange for the state always being a chase stage.
     phase_span.emplace("chase.commit", "chase");
     const Clock::time_point commit_start = Clock::now();
+    // Torture-harness fault sites.  Both fire before any mutation of the
+    // committed state, so the round is abandoned whole — exactly like a
+    // governed abort above — and the result stays a complete chase stage
+    // (snapshot + resume reconverge to the uninterrupted run).
+    // `chase.commit` models a fault at commit entry; `chase.skolem_alloc`
+    // models Skolem block-row allocation exhaustion, checked just before
+    // the head-expansion loops start interning block rows.
+    if (FRONTIERS_FAILPOINT("chase.commit") ||
+        FRONTIERS_FAILPOINT("chase.skolem_alloc")) {
+      return finish(ChaseStop::kInjectedFault, round);
+    }
     if (options.variant == ChaseVariant::kRestricted) {
       // Commit non-inventing (Datalog) applications first: a Datalog atom
       // may witness an existential head and preempt a fresh term - the
@@ -1307,8 +1321,34 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
         surviving.push_back(s);
       }
       outcomes.clear();
+      // A fired `fact_set.insert_batch` failpoint makes InsertBatch refuse
+      // the whole batch (store untouched, outcomes empty) — which would
+      // otherwise be indistinguishable from an atom-budget truncation at
+      // row zero.  Detect it by the fired-count delta and classify the stop
+      // as a resumable injected fault instead of kAtomBudget.  The
+      // EverArmed() guard keeps unarmed runs at one relaxed load.
+      const bool fault_detect = failpoint::EverArmed();
+      const uint64_t batch_fired_before =
+          fault_detect ? failpoint::FiredCount("fact_set.insert_batch") : 0;
       const size_t added =
           result.facts.InsertBatch(pending, &outcomes, options.max_atoms);
+      if (fault_detect && failpoint::FiredCount("fact_set.insert_batch") !=
+                              batch_fired_before) {
+        // Roll back phase 1's dedup-memo inserts so the state is exactly
+        // the previous round boundary.  (Skolem rows interned by ExpandHead
+        // stay in the vocabulary; hash-consing re-interns them to identical
+        // TermIds on resume, so they are harmless.)  The keys were moved
+        // into the memo, but FrontierKey reproduces the same bytes from the
+        // surviving applications' bindings.
+        for (uint32_t s : surviving) {
+          const StagedApplication& app = staged[s];
+          const std::string key = FrontierKey(app.rule_index, app.bindings);
+          if (result.seen_applications.erase(key) > 0) {
+            live_bytes -= ApproxKeyBytes(key);
+          }
+        }
+        return finish(ChaseStop::kInjectedFault, round);
+      }
       result.depth.reserve(result.depth.size() + added);
       new_delta_atoms.reserve(added);
       // Replay outcomes app by app.  `outcomes` is truncated exactly at

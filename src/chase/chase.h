@@ -31,6 +31,10 @@ enum class ChaseStop {
                  ///< complete chase stage.
   kCancelled,    ///< ChaseOptions::cancel was tripped; the result is a
                  ///< complete chase stage.
+  kInjectedFault,  ///< A torture-harness failpoint (base/failpoint.h) fired
+                   ///< during the round; the in-flight round was abandoned
+                   ///< whole, so the result is a complete chase stage and
+                   ///< the run can be snapshotted and resumed.
 };
 
 /// Short lowercase name of a stop reason ("fixpoint", "deadline", ...).

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "base/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -311,6 +312,9 @@ std::string EncodeSnapshot(const ChaseSnapshot& snapshot) {
 
 Result<ChaseSnapshot> DecodeSnapshot(std::string_view bytes) {
   obs::Span span("snapshot.decode", "snapshot");
+  if (FRONTIERS_FAILPOINT("snapshot.decode")) {
+    return Status::Error("injected failure at failpoint 'snapshot.decode'");
+  }
   obs::DefaultRegistry()
       .GetCounter("frontiers.snapshot.decoded_bytes")
       .Add(bytes.size());
@@ -362,6 +366,16 @@ Result<ChaseSnapshot> DecodeSnapshot(std::string_view bytes) {
         break;
       }
       const uint32_t nargs = in.Count(4);
+      // Cross-check the argument count against the function's declared
+      // arity: replaying a mismatched application would corrupt the
+      // vocabulary's hash-consing invariants.
+      if (!in.failed && nargs != snap.skolem_fns[t.fn].arity) {
+        in.Fail("snapshot term " + std::to_string(i) + " applies skolem "
+                "function of arity " +
+                std::to_string(snap.skolem_fns[t.fn].arity) + " to " +
+                std::to_string(nargs) + " arguments");
+        break;
+      }
       t.args.reserve(nargs);
       for (uint32_t a = 0; a < nargs && !in.failed; ++a) {
         const TermId arg = in.U32();
@@ -390,6 +404,15 @@ Result<ChaseSnapshot> DecodeSnapshot(std::string_view bytes) {
       break;
     }
     const uint32_t nargs = in.Count(4);
+    // An atom whose argument count disagrees with its predicate's declared
+    // arity would abort deep inside FactSet on resume; reject it here.
+    if (!in.failed && nargs != snap.predicates[atom.predicate].arity) {
+      in.Fail("snapshot atom " + std::to_string(i) + " has " +
+              std::to_string(nargs) + " arguments but predicate '" +
+              snap.predicates[atom.predicate].name + "' has arity " +
+              std::to_string(snap.predicates[atom.predicate].arity));
+      break;
+    }
     atom.args.reserve(nargs);
     for (uint32_t a = 0; a < nargs && !in.failed; ++a) {
       const TermId arg = in.U32();
@@ -404,11 +427,25 @@ Result<ChaseSnapshot> DecodeSnapshot(std::string_view bytes) {
   }
   snap.depth.reserve(num_atoms);
   for (uint32_t i = 0; i < num_atoms && !in.failed; ++i) {
-    snap.depth.push_back(in.U32());
+    const uint32_t d = in.U32();
+    // Atoms are appended in round order, so depths are non-decreasing and
+    // never exceed the snapshot's round counter (checked against
+    // next_round after it is read, below).
+    if (!in.failed && !snap.depth.empty() && d < snap.depth.back()) {
+      in.Fail("snapshot depth sequence decreases at atom " +
+              std::to_string(i));
+      break;
+    }
+    snap.depth.push_back(d);
   }
   snap.next_round = in.U32();
+  if (!in.failed && !snap.depth.empty() &&
+      snap.depth.back() > snap.next_round) {
+    in.Fail("snapshot atom depth " + std::to_string(snap.depth.back()) +
+            " exceeds its round counter " + std::to_string(snap.next_round));
+  }
   const uint8_t stop = in.U8();
-  if (!in.failed && stop > static_cast<uint8_t>(ChaseStop::kCancelled)) {
+  if (!in.failed && stop > static_cast<uint8_t>(ChaseStop::kInjectedFault)) {
     in.Fail("snapshot has bad stop reason " + std::to_string(stop));
   }
   snap.stop = static_cast<ChaseStop>(stop);
@@ -605,14 +642,19 @@ Status ApplySnapshotVocabulary(const ChaseSnapshot& snapshot,
 
 Status WriteSnapshotFile(const std::string& path,
                          const ChaseSnapshot& snapshot) {
+  // EncodeSnapshot itself is infallible (pure serialization), so its
+  // injected fault surfaces here, where a Status can carry it.
+  if (FRONTIERS_FAILPOINT("snapshot.encode")) {
+    return Status::Error("injected failure at failpoint 'snapshot.encode'");
+  }
   const std::string bytes = EncodeSnapshot(snapshot);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
+  if (!out || FRONTIERS_FAILPOINT("snapshot.write_open")) {
     return Status::Error("cannot open '" + path + "' for writing");
   }
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   out.flush();
-  if (!out) {
+  if (!out || FRONTIERS_FAILPOINT("snapshot.write_io")) {
     return Status::Error("failed writing snapshot to '" + path + "'");
   }
   return Status::Ok();
@@ -620,12 +662,12 @@ Status WriteSnapshotFile(const std::string& path,
 
 Result<ChaseSnapshot> ReadSnapshotFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  if (!in || FRONTIERS_FAILPOINT("snapshot.read_open")) {
     return Status::Error("cannot open snapshot file '" + path + "'");
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  if (!in.good() && !in.eof()) {
+  if ((!in.good() && !in.eof()) || FRONTIERS_FAILPOINT("snapshot.read_io")) {
     return Status::Error("failed reading snapshot file '" + path + "'");
   }
   return DecodeSnapshot(buffer.str());

@@ -28,9 +28,16 @@ bool Holds(const Vocabulary& vocab, const ConjunctiveQuery& query,
   if (answer.size() != query.answer_vars.size()) return false;
   Substitution initial;
   for (size_t i = 0; i < answer.size(); ++i) {
-    auto it = initial.find(query.answer_vars[i]);
+    const TermId v = query.answer_vars[i];
+    // Rewritten queries may carry constants in the answer tuple; they match
+    // only themselves and take no binding.
+    if (!vocab.IsVariable(v)) {
+      if (v != answer[i]) return false;
+      continue;
+    }
+    auto it = initial.find(v);
     if (it != initial.end() && it->second != answer[i]) return false;
-    initial.emplace(query.answer_vars[i], answer[i]);
+    initial.emplace(v, answer[i]);
   }
   Matcher matcher(vocab, facts);
   return matcher.Exists(query.atoms, MappableVars(vocab, query, false),
@@ -68,6 +75,12 @@ std::optional<Substitution> QueryHomomorphism(const Vocabulary& vocab,
   for (size_t i = 0; i < from.answer_vars.size(); ++i) {
     TermId f = from.answer_vars[i];
     TermId t = to.answer_vars[i];
+    // An answer-tuple constant maps only to itself (homomorphisms fix
+    // constants); it never enters the substitution.
+    if (!vocab.IsVariable(f)) {
+      if (f != t) return std::nullopt;
+      continue;
+    }
     auto it = initial.find(f);
     if (it != initial.end() && it->second != t) return std::nullopt;
     initial.emplace(f, t);
@@ -101,7 +114,9 @@ ConjunctiveQuery MinimizeQuery(const Vocabulary& vocab,
     current.atoms = std::move(unique);
   }
   Substitution identity;
-  for (TermId v : current.answer_vars) identity.emplace(v, v);
+  for (TermId v : current.answer_vars) {
+    if (vocab.IsVariable(v)) identity.emplace(v, v);
+  }
 
   bool changed = true;
   while (changed && current.atoms.size() > 1) {

@@ -129,6 +129,9 @@ RewritingResult Rewriter::Rewrite(const ConjunctiveQuery& query,
         }
         TermId dangling = kNoTerm;
         for (TermId v : q.answer_vars) {
+          // Answer-tuple constants (from "x = c" unifiers) are fixed values,
+          // not dangling variables.
+          if (!vocab_.IsVariable(v)) continue;
           if (present.count(v) == 0) {
             dangling = v;
             break;
@@ -254,7 +257,9 @@ RewritingResult Rewriter::Rewrite(const ConjunctiveQuery& query,
             universal = t;
           } else if (answer_set.count(t) > 0) {
             ++n_answers;
-            answer = t;
+            // Deterministic representative when the unifier merges several
+            // answer variables.
+            if (answer == kNoTerm || t < answer) answer = t;
           } else {
             qvar = t;
             if (outside.count(t) > 0) has_outside_qvar = true;
@@ -278,12 +283,12 @@ RewritingResult Rewriter::Rewrite(const ConjunctiveQuery& query,
           }
           continue;  // members vanish with the piece; no representative
         }
-        if (n_answers > 1 || (answer != kNoTerm && constant != kNoTerm)) {
-          // "x = y" / "x = c" on answer variables is not expressible as a
-          // plain CQ; skip this unifier.
-          valid = false;
-          break;
-        }
+        // Unifiers that equate answer variables with each other ("x = y")
+        // or with a constant ("x = c") stay expressible: the representative
+        // is substituted into the answer tuple below, yielding a CQ with a
+        // repeated answer variable (or an answer constant).  Dropping these
+        // unifiers instead loses certain answers while still reporting
+        // convergence (found by the torture oracle, seed 12).
         TermId chosen = constant != kNoTerm  ? constant
                         : answer != kNoTerm  ? answer
                         : qvar != kNoTerm    ? qvar
@@ -296,7 +301,10 @@ RewritingResult Rewriter::Rewrite(const ConjunctiveQuery& query,
 
       // Assemble the rewriting: rep(body) + rep(q minus piece).
       ConjunctiveQuery rewritten;
-      rewritten.answer_vars = q.answer_vars;
+      rewritten.answer_vars.reserve(q.answer_vars.size());
+      for (TermId v : q.answer_vars) {
+        rewritten.answer_vars.push_back(Apply(rep, v));
+      }
       for (const Atom& atom : fresh_body) {
         rewritten.atoms.push_back(Apply(rep, atom));
       }

@@ -1,0 +1,100 @@
+#include "testing/fuzz.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace frontiers::testing {
+
+std::string TruncateAt(const std::string& data, size_t offset) {
+  return data.substr(0, std::min(offset, data.size()));
+}
+
+std::string FlipByteAt(const std::string& data, size_t offset, uint8_t mask) {
+  std::string out = data;
+  if (offset < out.size()) {
+    out[offset] = static_cast<char>(static_cast<uint8_t>(out[offset]) ^ mask);
+  }
+  return out;
+}
+
+std::string SmashU32At(const std::string& data, size_t offset,
+                       uint32_t value) {
+  std::string out = data;
+  for (size_t i = 0; i < 4 && offset + i < out.size(); ++i) {
+    out[offset + i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  return out;
+}
+
+std::string MutateBytes(const std::string& data, SplitMix64& rng) {
+  // All offset draws use size()+1 so empty inputs stay legal (every
+  // mutation then degenerates to a small append or no-op).
+  const uint32_t size = static_cast<uint32_t>(data.size());
+  switch (rng.Below(6)) {
+    case 0:
+      return TruncateAt(data, rng.Below(size + 1));
+    case 1:
+      return FlipByteAt(data, rng.Below(size + 1),
+                        static_cast<uint8_t>(1 + rng.Below(255)));
+    case 2: {  // insert a byte
+      std::string out = data;
+      out.insert(out.begin() + rng.Below(size + 1),
+                 static_cast<char>(rng.Below(256)));
+      return out;
+    }
+    case 3: {  // erase a span
+      std::string out = data;
+      const size_t start = rng.Below(size + 1);
+      const size_t len = rng.Below(size + 1);
+      out.erase(start, len);
+      return out;
+    }
+    case 4: {  // duplicate a span (splice the input into itself)
+      const size_t start = rng.Below(size + 1);
+      const size_t len = std::min<size_t>(rng.Below(64) + 1, size - start);
+      std::string out = data;
+      out.insert(rng.Below(size + 1), data.substr(start, len));
+      return out;
+    }
+    default: {  // smash a u32 field with a boundary-ish value
+      const uint32_t candidates[] = {0,          1,          0x7fffffffu,
+                                     0xffffffffu, size,       size * 2 + 1,
+                                     static_cast<uint32_t>(rng.Next())};
+      return SmashU32At(data, rng.Below(size + 1),
+                        candidates[rng.Below(7)]);
+    }
+  }
+}
+
+bool ReadFileBytes(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+std::vector<std::string> ListCorpusFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+uint64_t FuzzIterations(uint64_t default_iters) {
+  const char* env = std::getenv("FRONTIERS_FUZZ_ITERS");
+  if (env != nullptr) {
+    const uint64_t parsed = std::strtoull(env, nullptr, 10);
+    if (parsed > 0) return parsed;
+  }
+  return default_iters;
+}
+
+}  // namespace frontiers::testing

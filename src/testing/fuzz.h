@@ -1,0 +1,47 @@
+#ifndef FRONTIERS_TESTING_FUZZ_H_
+#define FRONTIERS_TESTING_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/rng.h"
+
+namespace frontiers::testing {
+
+/// Seeded byte-level mutators for the parser and snapshot-decoder fuzzers.
+/// Everything is deterministic in the RNG state, so a failing fuzz
+/// iteration is identified by (corpus input, seed, iteration) alone.
+
+/// The first `offset` bytes of `data` (clamped to its size).
+std::string TruncateAt(const std::string& data, size_t offset);
+
+/// `data` with the byte at `offset` XORed with `mask` (no-op when `offset`
+/// is out of range or `mask` is 0).
+std::string FlipByteAt(const std::string& data, size_t offset, uint8_t mask);
+
+/// `data` with the 4 bytes at `offset` overwritten little-endian with
+/// `value` (clamped to the bytes that exist).  Structure-aware smashing for
+/// the FRSN codec, whose counts and ids are little-endian u32 fields.
+std::string SmashU32At(const std::string& data, size_t offset,
+                       uint32_t value);
+
+/// Applies one random mutation drawn from `rng`: truncation, byte flip,
+/// byte insertion, span erase, span duplication, or a u32 smash with a
+/// boundary-ish value (0, 1, huge, or length-derived).
+std::string MutateBytes(const std::string& data, SplitMix64& rng);
+
+/// Reads a whole file; empty optional-style contract via the bool return.
+bool ReadFileBytes(const std::string& path, std::string* out);
+
+/// The regular files directly inside `dir`, sorted by name (deterministic
+/// corpus order); empty if the directory cannot be read.
+std::vector<std::string> ListCorpusFiles(const std::string& dir);
+
+/// Fuzz iteration count for a test: FRONTIERS_FUZZ_ITERS if set and
+/// positive, else `default_iters`.
+uint64_t FuzzIterations(uint64_t default_iters);
+
+}  // namespace frontiers::testing
+
+#endif  // FRONTIERS_TESTING_FUZZ_H_

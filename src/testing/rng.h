@@ -1,0 +1,47 @@
+#ifndef FRONTIERS_TESTING_RNG_H_
+#define FRONTIERS_TESTING_RNG_H_
+
+#include <cstdint>
+
+namespace frontiers::testing {
+
+/// SplitMix64 (Steele/Lea/Vigna): the torture harness's only randomness
+/// source.  Implemented here rather than via <random> because the standard
+/// distributions are not bit-reproducible across library implementations,
+/// and a torture seed must generate the identical workload on every
+/// platform for repro files to mean anything.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 pseudo-random bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform-ish value in [0, n).  Requires n >= 1.  Plain modulo: the
+  /// tiny bias is irrelevant for workload generation and keeps the mapping
+  /// trivially portable.
+  uint32_t Below(uint32_t n) { return static_cast<uint32_t>(Next() % n); }
+
+  /// True with probability num/den.
+  bool Chance(uint32_t num, uint32_t den) { return Below(den) < num; }
+
+  /// A decorrelated seed for a sub-generator: stream `k` of this state.
+  /// Forking lets e.g. theory and instance generation evolve independently
+  /// of how many draws the other consumed.
+  uint64_t Fork(uint64_t k) {
+    SplitMix64 mix(state_ + 0x632be59bd9b4e019ull * (k + 1));
+    return mix.Next();
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace frontiers::testing
+
+#endif  // FRONTIERS_TESTING_RNG_H_

@@ -10,6 +10,24 @@ namespace frontiers {
 
 namespace {
 
+// --- Input limits -----------------------------------------------------------
+// The grammar is deliberately flat (atoms cannot nest), so the parser has no
+// recursion to overflow; these caps bound the dimensions that *are*
+// unbounded in hostile input — token length, atom width, conjunct length
+// and rule count — turning pathological inputs surfaced by the fuzzer
+// (tests/parser_fuzz_test.cc) into position-carrying errors instead of
+// multi-gigabyte allocations.  The values are far above anything a real
+// theory file uses.
+
+/// Longest accepted identifier (predicate, constant or variable name).
+constexpr size_t kMaxIdentifierLength = 4096;
+/// Widest accepted atom.
+constexpr size_t kMaxArity = 1024;
+/// Longest accepted conjunction (rule body/head, query, fact list).
+constexpr size_t kMaxAtomsPerConjunction = 65536;
+/// Most rules in one theory text.
+constexpr size_t kMaxRulesPerTheory = 65536;
+
 enum class TokenKind {
   kIdent,
   kLParen,
@@ -97,11 +115,30 @@ class Lexer {
                 text_[i] == '_' || text_[i] == '\'')) {
           ++i;
         }
+        if (i - start > kMaxIdentifierLength) {
+          return Status::Error(
+              "identifier of " + std::to_string(i - start) +
+              " characters at position " + std::to_string(start) +
+              " exceeds the " + std::to_string(kMaxIdentifierLength) +
+              "-character limit");
+        }
         tokens.push_back({TokenKind::kIdent,
                           std::string(text_.substr(start, i - start)), start});
         continue;
       }
-      return Status::Error("unexpected character '" + std::string(1, c) +
+      // Garbage bytes: render printable characters literally, everything
+      // else (control bytes, UTF-8 tails, NUL) as a hex escape, so the
+      // error message itself stays clean text.
+      std::string shown;
+      if (std::isprint(static_cast<unsigned char>(c))) {
+        shown = std::string(1, c);
+      } else {
+        char hex[8];
+        std::snprintf(hex, sizeof(hex), "\\x%02x",
+                      static_cast<unsigned char>(c));
+        shown = hex;
+      }
+      return Status::Error("unexpected character '" + shown +
                            "' at position " + std::to_string(i));
     }
     tokens.push_back({TokenKind::kEnd, "", text_.size()});
@@ -161,6 +198,11 @@ class Parser {
         if (term.kind != TokenKind::kIdent) {
           return ErrorAt(term, "expected term");
         }
+        if (args.size() >= kMaxArity) {
+          return ErrorAt(term, "atom of predicate '" + name.text +
+                                   "' exceeds the maximum arity of " +
+                                   std::to_string(kMaxArity));
+        }
         args.push_back(IsVariableName(term.text)
                            ? vocab_.Variable(term.text)
                            : vocab_.Constant(term.text));
@@ -190,6 +232,11 @@ class Parser {
   Result<std::vector<Atom>> ParseAtoms() {
     std::vector<Atom> atoms;
     for (;;) {
+      if (atoms.size() >= kMaxAtomsPerConjunction) {
+        return ErrorAt(Peek(), "conjunction exceeds the maximum of " +
+                                   std::to_string(kMaxAtomsPerConjunction) +
+                                   " atoms");
+      }
       Result<Atom> atom = ParseAtom();
       if (!atom.ok()) return atom.status();
       atoms.push_back(std::move(atom.value()));
@@ -233,7 +280,17 @@ class Parser {
         if (v.kind != TokenKind::kIdent || !IsVariableName(v.text)) {
           return ErrorAt(v, "expected existential variable name");
         }
-        existentials.push_back(vocab_.Variable(v.text));
+        const TermId var = vocab_.Variable(v.text);
+        // MakeTgd treats an existential occurring in the body as a
+        // programming error and aborts; here it is *input*, so reject it
+        // with a positioned parse error instead.
+        for (const Atom& atom : body) {
+          if (atom.ContainsTerm(var)) {
+            return ErrorAt(v, "existential variable '" + v.text +
+                                  "' occurs in the rule body");
+          }
+        }
+        existentials.push_back(var);
         if (Peek().kind == TokenKind::kComma) {
           Next();
           continue;
@@ -259,6 +316,11 @@ class Parser {
         SkipNewlines();
       }
       if (AtEnd()) break;
+      if (theory.rules.size() >= kMaxRulesPerTheory) {
+        return ErrorAt(Peek(), "theory exceeds the maximum of " +
+                                   std::to_string(kMaxRulesPerTheory) +
+                                   " rules");
+      }
       Result<Tgd> rule = ParseOneRule();
       if (!rule.ok()) return rule.status();
       theory.rules.push_back(std::move(rule.value()));

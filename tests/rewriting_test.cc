@@ -7,6 +7,7 @@
 #include "chase/chase.h"
 #include "hom/query_ops.h"
 #include "rewriting/rewriter.h"
+#include "rewriting/ucq.h"
 #include "tgd/parser.h"
 
 namespace frontiers {
@@ -231,6 +232,24 @@ TEST_F(RewritingTest, AnswerVariableCannotUnifyWithExistential) {
   RewritingResult rew = rewriter.Rewrite(Query("q(y) :- E(x,y)"));
   EXPECT_EQ(rew.status, RewritingStatus::kConverged);
   EXPECT_EQ(rew.queries.size(), 1u);
+}
+
+TEST_F(RewritingTest, MergedAnswerVariablesKeepTheirCertainAnswers) {
+  // Torture-oracle find (seed 12): unifying q's head Q(a,b) with the
+  // repeated-variable rule head Q(x,x) equates the two answer variables.
+  // The rewriting must keep that unifier as a repeated-answer-variable
+  // disjunct q(a,a) :- P(a); dropping it loses the certain answer (C,C).
+  Theory t_p = ParseT("P(x) -> Q(x,x)");
+  Rewriter rewriter(vocab_, t_p);
+  RewritingResult rew = rewriter.Rewrite(Query("q(a,b) :- Q(a,b)"));
+  ASSERT_EQ(rew.status, RewritingStatus::kConverged);
+  Ucq ucq;
+  ucq.disjuncts = rew.queries;
+  const FactSet db = Facts("P(C)");
+  const TermId c = vocab_.Constant("C");
+  std::vector<std::vector<TermId>> answers = EvaluateUcq(vocab_, ucq, db);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0], (std::vector<TermId>{c, c}));
 }
 
 TEST_F(RewritingTest, RewritingIsUniqueAcrossBudgets) {

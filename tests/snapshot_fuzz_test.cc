@@ -1,0 +1,137 @@
+// Seeded fuzzer for the FRSN snapshot decoder.  Invariants:
+//  - truncation at EVERY byte offset of a valid snapshot yields an error
+//    Status (the codec is sequential: every byte is load-bearing);
+//  - arbitrary byte flips, splices, and u32 smashes never crash, hang, or
+//    trip a sanitizer — decode either errors or yields a snapshot whose
+//    re-encoding decodes again and whose vocabulary replays cleanly;
+//  - the checked-in bad-magic corpus sample errors descriptively.
+//
+// Iteration budget: FRONTIERS_FUZZ_ITERS (default 100000).
+
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "chase/snapshot.h"
+#include "gtest/gtest.h"
+#include "testing/fuzz.h"
+#include "testing/rng.h"
+#include "tgd/parser.h"
+
+namespace frontiers {
+namespace {
+
+using testing::FlipByteAt;
+using testing::FuzzIterations;
+using testing::MutateBytes;
+using testing::ReadFileBytes;
+using testing::SmashU32At;
+using testing::SplitMix64;
+using testing::TruncateAt;
+
+// A valid encoded snapshot with a bit of everything: Skolem terms,
+// provenance, dedup memo, several rounds.
+std::string ValidSnapshotBytes() {
+  Vocabulary vocab;
+  Theory theory =
+      ParseTheory(vocab,
+                  "r0: E(x,y) -> exists z . E(y,z)\n"
+                  "r1: E(x,y), E(y,z) -> R(x,z)\n",
+                  "fuzz")
+          .value();
+  FactSet db = ParseFacts(vocab, "E(A,B), E(B,C)").value();
+  ChaseEngine engine(vocab, theory);
+  ChaseOptions options;
+  options.max_rounds = 3;
+  options.track_provenance = true;
+  const ChaseResult run = engine.Run(db, options);
+  Result<ChaseSnapshot> snapshot = MakeSnapshot(vocab, theory, run, options);
+  EXPECT_TRUE(snapshot.ok()) << snapshot.message();
+  return EncodeSnapshot(snapshot.value());
+}
+
+// The no-crash invariant for one mutated input: decode errors, or the
+// decoded snapshot survives re-encode -> re-decode and vocabulary replay.
+void CheckDecodeTotal(const std::string& bytes) {
+  Result<ChaseSnapshot> decoded = DecodeSnapshot(bytes);
+  if (!decoded.ok()) {
+    EXPECT_FALSE(decoded.message().empty());
+    return;
+  }
+  Result<ChaseSnapshot> again =
+      DecodeSnapshot(EncodeSnapshot(decoded.value()));
+  EXPECT_TRUE(again.ok()) << again.message();
+  Vocabulary vocab;
+  (void)ApplySnapshotVocabulary(decoded.value(), vocab);
+}
+
+TEST(SnapshotFuzzTest, TruncationAtEveryOffsetErrors) {
+  const std::string bytes = ValidSnapshotBytes();
+  ASSERT_TRUE(DecodeSnapshot(bytes).ok());
+  for (size_t offset = 0; offset < bytes.size(); ++offset) {
+    Result<ChaseSnapshot> decoded = DecodeSnapshot(TruncateAt(bytes, offset));
+    EXPECT_FALSE(decoded.ok()) << "offset " << offset << " of "
+                               << bytes.size();
+    if (!decoded.ok()) {
+      EXPECT_FALSE(decoded.message().empty());
+    }
+  }
+}
+
+TEST(SnapshotFuzzTest, ByteFlipAtEveryOffsetIsTotal) {
+  const std::string bytes = ValidSnapshotBytes();
+  for (size_t offset = 0; offset < bytes.size(); ++offset) {
+    CheckDecodeTotal(FlipByteAt(bytes, offset, 0xff));
+    CheckDecodeTotal(FlipByteAt(bytes, offset, 0x01));
+  }
+}
+
+TEST(SnapshotFuzzTest, HeaderAndCountSmashingIsTotal) {
+  const std::string bytes = ValidSnapshotBytes();
+  const uint32_t values[] = {0,          1,          0x7fffffffu, 0xffffffffu,
+                             0x46525346, /* "FRSN" */ 0x01000000u,
+                             static_cast<uint32_t>(bytes.size())};
+  // Counts and ids live throughout the payload; smash every aligned offset
+  // in the first 256 bytes (header + table heads) and a sample beyond.
+  for (size_t offset = 0; offset < bytes.size() && offset < 256; ++offset) {
+    for (uint32_t value : values) {
+      CheckDecodeTotal(SmashU32At(bytes, offset, value));
+    }
+  }
+}
+
+TEST(SnapshotFuzzTest, BadMagicCorpusSampleErrors) {
+  std::string bytes;
+  ASSERT_TRUE(ReadFileBytes(
+      std::string(FRONTIERS_CORPUS_DIR) + "/bad_magic.frsnap", &bytes));
+  Result<ChaseSnapshot> decoded = DecodeSnapshot(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_FALSE(decoded.message().empty());
+}
+
+TEST(SnapshotFuzzTest, SeededMutations) {
+  const std::string base = ValidSnapshotBytes();
+  const uint64_t iterations = FuzzIterations(100000);
+  SplitMix64 rng(0xdec0deull);
+  uint64_t decoded_ok = 0;
+  std::string data = base;
+  for (uint64_t i = 0; i < iterations; ++i) {
+    if (i % 8 == 0) data = base;  // refresh so mutations stay near-valid
+    data = MutateBytes(data, rng);
+    if (data.size() > 1 << 16) data.resize(1 << 16);
+    Result<ChaseSnapshot> decoded = DecodeSnapshot(data);
+    if (decoded.ok()) {
+      ++decoded_ok;
+      Vocabulary vocab;
+      (void)ApplySnapshotVocabulary(decoded.value(), vocab);
+    } else {
+      EXPECT_FALSE(decoded.message().empty());
+    }
+  }
+  // Mostly corrupt, but the near-valid refresh policy means *some*
+  // mutations (e.g. flips inside string payloads) still decode.
+  SUCCEED() << decoded_ok << " of " << iterations << " decoded";
+}
+
+}  // namespace
+}  // namespace frontiers

@@ -1,0 +1,108 @@
+// Tests for the differential oracle: a block of seeds must run divergence-
+// free, repro files round-trip, deliberately broken inputs are reported as
+// divergences, and MinimizeCase leaves non-diverging cases alone.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "testing/differential.h"
+
+namespace frontiers {
+namespace {
+
+using testing::MinimizeCase;
+using testing::ParseRepro;
+using testing::ReproToString;
+using testing::RunDifferentialChecks;
+using testing::RunTortureSeed;
+using testing::TortureCase;
+using testing::TortureOptions;
+using testing::TortureSeedOutcome;
+
+// Small thread list keeps this suite fast; tools/torture runs the full one.
+TortureOptions FastOptions() {
+  TortureOptions options;
+  options.thread_counts = {2, 4};
+  return options;
+}
+
+TEST(TortureTest, SeedBlockIsDivergenceFree) {
+  for (uint64_t seed = 0; seed < 24; ++seed) {
+    const TortureSeedOutcome outcome = RunTortureSeed(seed, FastOptions());
+    EXPECT_TRUE(outcome.divergences.empty())
+        << "seed " << seed << ": " << outcome.divergences.front();
+  }
+}
+
+TEST(TortureTest, ReproRoundTrips) {
+  TortureCase torture_case;
+  torture_case.theory_text = "r0: P(x) -> exists z . Q(x,z)\n";
+  torture_case.facts_text = "P(A),\nP(B)\n";
+  torture_case.query_text = "q(y0) :- Q(y0,y1)\n";
+  const std::string text =
+      ReproToString(torture_case, 99, {"example divergence\nsecond line"});
+  Result<TortureCase> parsed = ParseRepro(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  EXPECT_EQ(parsed.value().theory_text, torture_case.theory_text);
+  EXPECT_EQ(parsed.value().facts_text, torture_case.facts_text);
+  EXPECT_EQ(parsed.value().query_text, torture_case.query_text);
+  // The replayed case passes the oracle (it is a well-behaved workload).
+  EXPECT_TRUE(RunDifferentialChecks(parsed.value(), FastOptions()).empty());
+}
+
+TEST(TortureTest, ReproWithoutQuerySectionParses) {
+  Result<TortureCase> parsed =
+      ParseRepro("# comment\n== theory ==\nP(x) -> Q(x)\n== facts ==\nP(A)\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  EXPECT_TRUE(parsed.value().query_text.empty());
+  EXPECT_TRUE(RunDifferentialChecks(parsed.value(), FastOptions()).empty());
+}
+
+TEST(TortureTest, ReproParserRejectsGarbage) {
+  EXPECT_FALSE(ParseRepro("== bogus ==\n").ok());
+  EXPECT_FALSE(ParseRepro("stray content\n== theory ==\nP(x) -> Q(x)\n").ok());
+  EXPECT_FALSE(ParseRepro("# only comments\n").ok());
+}
+
+TEST(TortureTest, MalformedCaseCountsAsDivergence) {
+  TortureCase torture_case;
+  torture_case.theory_text = "P(x -> Q(x)\n";  // unterminated atom
+  torture_case.facts_text = "P(A)\n";
+  const std::vector<std::string> divergences =
+      RunDifferentialChecks(torture_case, FastOptions());
+  ASSERT_FALSE(divergences.empty());
+  EXPECT_NE(divergences.front().find("parse error"), std::string::npos);
+}
+
+TEST(TortureTest, MinimizeReturnsNonDivergingCaseUnchanged) {
+  TortureCase torture_case;
+  torture_case.theory_text =
+      "r0: P(x) -> exists z . Q(x,z)\nr1: Q(x,y) -> P(y)\n";
+  torture_case.facts_text = "P(A),\nP(B)\n";
+  torture_case.query_text = "q(y0) :- P(y0)\n";
+  const TortureCase minimized = MinimizeCase(torture_case, FastOptions());
+  EXPECT_EQ(minimized.theory_text, torture_case.theory_text);
+  EXPECT_EQ(minimized.facts_text, torture_case.facts_text);
+  EXPECT_EQ(minimized.query_text, torture_case.query_text);
+}
+
+TEST(TortureTest, MinimizeShrinksADivergingCase) {
+  // A case that "diverges" for a trivial reason — it does not parse — so
+  // minimization has something deterministic to shrink: the parse error
+  // persists as long as the malformed rule line survives.
+  TortureCase torture_case;
+  torture_case.theory_text =
+      "r0: P(x) -> Q(x)\nr1: P(x -> Q(x)\nr2: Q(x) -> P(x)\n";
+  torture_case.facts_text = "P(A),\nP(B),\nP(C)\n";
+  torture_case.query_text = "q(y0) :- P(y0)\n";
+  const TortureCase minimized = MinimizeCase(torture_case, FastOptions());
+  ASSERT_FALSE(RunDifferentialChecks(minimized, FastOptions()).empty());
+  // All healthy rules, all but one fact, and the query were dropped.
+  EXPECT_EQ(minimized.theory_text, "r1: P(x -> Q(x)\n");
+  EXPECT_EQ(minimized.facts_text, "P(C)\n");
+  EXPECT_TRUE(minimized.query_text.empty());
+}
+
+}  // namespace
+}  // namespace frontiers

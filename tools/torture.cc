@@ -1,0 +1,199 @@
+// Torture driver: runs the seeded differential oracle (and optionally the
+// byte-level fuzz mutators) from the command line.  This is the binary CI's
+// advisory torture job runs and the one a developer uses to replay a
+// divergence repro.
+//
+//   torture --seeds=N [--start=S] [--out=DIR]   differential-check N seeds
+//   torture --replay=FILE                        re-run one repro file
+//   torture --fuzz=N --corpus=DIR                N mutation rounds per
+//                                                corpus file through parser
+//                                                and snapshot decoder
+//
+// Exit code 0 means every seed/replay/fuzz input behaved; 1 means at least
+// one divergence (each is minimized and written to --out, default ".").
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "chase/snapshot.h"
+#include "testing/differential.h"
+#include "testing/fuzz.h"
+#include "testing/rng.h"
+#include "tgd/parser.h"
+
+namespace frontiers {
+namespace {
+
+using testing::TortureCase;
+using testing::TortureOptions;
+using testing::TortureSeedOutcome;
+
+bool ParseUint(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  const uint64_t value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+int WriteRepro(const std::string& out_dir, uint64_t seed,
+               const TortureCase& repro,
+               const std::vector<std::string>& divergences) {
+  const std::string path =
+      out_dir + "/torture-repro-" + std::to_string(seed) + ".txt";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << testing::ReproToString(repro, seed, divergences);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "torture: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "torture: repro written to %s\n", path.c_str());
+  return 0;
+}
+
+int RunSeeds(uint64_t start, uint64_t count, const std::string& out_dir) {
+  const TortureOptions options;
+  uint64_t failures = 0;
+  for (uint64_t seed = start; seed < start + count; ++seed) {
+    const TortureSeedOutcome outcome = testing::RunTortureSeed(seed, options);
+    if (outcome.divergences.empty()) continue;
+    ++failures;
+    std::fprintf(stderr, "torture: seed %" PRIu64 " (%s) diverged:\n", seed,
+                 testing::TheoryClassName(outcome.theory_class));
+    for (const std::string& divergence : outcome.divergences) {
+      std::fprintf(stderr, "  %s\n", divergence.c_str());
+    }
+    WriteRepro(out_dir, seed, outcome.repro, outcome.divergences);
+  }
+  std::printf("torture: %" PRIu64 " seeds [%" PRIu64 ", %" PRIu64
+              "), %" PRIu64 " divergence(s)\n",
+              count, start, start + count, failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int Replay(const std::string& path) {
+  std::string text;
+  if (!testing::ReadFileBytes(path, &text)) {
+    std::fprintf(stderr, "torture: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  Result<TortureCase> repro = testing::ParseRepro(text);
+  if (!repro.ok()) {
+    std::fprintf(stderr, "torture: %s: %s\n", path.c_str(),
+                 repro.message().c_str());
+    return 1;
+  }
+  const std::vector<std::string> divergences =
+      testing::RunDifferentialChecks(repro.value(), TortureOptions());
+  if (divergences.empty()) {
+    std::printf("torture: replay of %s passed\n", path.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "torture: replay of %s diverged:\n", path.c_str());
+  for (const std::string& divergence : divergences) {
+    std::fprintf(stderr, "  %s\n", divergence.c_str());
+  }
+  return 1;
+}
+
+// Feeds every corpus file, plus `rounds` seeded mutations of it, to both
+// hostile-input surfaces: the DSL parser and the FRSN snapshot decoder.
+// The invariant under test is "error Status or success, never a crash" —
+// a sanitizer finding or abort fails the process, which is the signal.
+int Fuzz(uint64_t rounds, const std::string& corpus_dir) {
+  const std::vector<std::string> files =
+      testing::ListCorpusFiles(corpus_dir);
+  if (files.empty()) {
+    std::fprintf(stderr, "torture: no corpus files in %s\n",
+                 corpus_dir.c_str());
+    return 1;
+  }
+  uint64_t parses = 0, decodes = 0;
+  for (const std::string& path : files) {
+    std::string base;
+    if (!testing::ReadFileBytes(path, &base)) {
+      std::fprintf(stderr, "torture: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    testing::SplitMix64 rng(0x7042u ^ base.size());
+    std::string data = base;
+    for (uint64_t i = 0; i <= rounds; ++i) {
+      {
+        Vocabulary vocab;
+        if (ParseTheory(vocab, data, "fuzz").ok()) ++parses;
+      }
+      {
+        Vocabulary vocab;
+        if (ParseFacts(vocab, data).ok()) ++parses;
+      }
+      if (DecodeSnapshot(data).ok()) ++decodes;
+      // Alternate between drifting mutations (compounding) and fresh
+      // single-step mutations of the original, so both deep and shallow
+      // corruption get coverage.
+      data = testing::MutateBytes(i % 4 == 3 ? base : data, rng);
+    }
+  }
+  std::printf("torture: fuzzed %zu corpus file(s) x %" PRIu64
+              " rounds (%" PRIu64 " clean parses, %" PRIu64
+              " clean decodes)\n",
+              files.size(), rounds, parses, decodes);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: torture --seeds=N [--start=S] [--out=DIR]\n"
+               "       torture --replay=FILE\n"
+               "       torture --fuzz=N --corpus=DIR\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  uint64_t seeds = 0, start = 0, fuzz_rounds = 0;
+  bool have_seeds = false, have_fuzz = false;
+  std::string out_dir = ".", replay_path, corpus_dir;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--seeds=", 8) == 0) {
+      if (!ParseUint(arg + 8, &seeds)) return Usage();
+      have_seeds = true;
+    } else if (std::strncmp(arg, "--start=", 8) == 0) {
+      if (!ParseUint(arg + 8, &start)) return Usage();
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_dir = arg + 6;
+    } else if (std::strncmp(arg, "--replay=", 9) == 0) {
+      replay_path = arg + 9;
+    } else if (std::strncmp(arg, "--fuzz=", 7) == 0) {
+      if (!ParseUint(arg + 7, &fuzz_rounds)) return Usage();
+      have_fuzz = true;
+    } else if (std::strncmp(arg, "--corpus=", 9) == 0) {
+      corpus_dir = arg + 9;
+    } else {
+      return Usage();
+    }
+  }
+  int rc = -1;
+  if (have_seeds) rc = RunSeeds(start, seeds, out_dir);
+  if (!replay_path.empty()) {
+    const int replay_rc = Replay(replay_path);
+    rc = (rc <= 0) ? std::max(replay_rc, std::max(rc, 0)) : rc;
+  }
+  if (have_fuzz) {
+    if (corpus_dir.empty()) return Usage();
+    const int fuzz_rc = Fuzz(fuzz_rounds, corpus_dir);
+    rc = (rc <= 0) ? std::max(fuzz_rc, std::max(rc, 0)) : rc;
+  }
+  if (rc < 0) return Usage();
+  return rc;
+}
+
+}  // namespace
+}  // namespace frontiers
+
+int main(int argc, char** argv) { return frontiers::Main(argc, argv); }
