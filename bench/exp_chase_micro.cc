@@ -22,17 +22,40 @@ namespace {
 // baselines, not just end-to-end wall time.  The `_seconds` suffix routes
 // them into the JSONL row's `seconds` object (see JsonlReporter), which
 // is the part tools/bench_diff compares.
-void CountPhaseSeconds(benchmark::State& state, double match_seconds,
-                       double commit_seconds) {
-  state.counters["match_seconds"] =
-      benchmark::Counter(match_seconds, benchmark::Counter::kAvgIterations);
-  state.counters["commit_seconds"] =
-      benchmark::Counter(commit_seconds, benchmark::Counter::kAvgIterations);
+struct PhaseAccum {
+  double match = 0.0;
+  double commit = 0.0;
+  double commit_expand = 0.0;
+  double commit_dedup = 0.0;
+  double commit_index = 0.0;
+  void Add(const ChaseStats& stats) {
+    match += stats.MatchSeconds();
+    commit += stats.CommitSeconds();
+    // Commit sub-phases of the sharded pipeline (DESIGN.md §5): expansion
+    // into the pending block, shard dedup, and index maintenance.
+    // Tracking them separately lets bench_diff attribute commit-phase
+    // movement.
+    commit_expand += stats.CommitExpandSeconds();
+    commit_dedup += stats.CommitDedupSeconds();
+    commit_index += stats.CommitIndexSeconds();
+  }
+};
+
+void CountPhaseSeconds(benchmark::State& state, const PhaseAccum& accum) {
+  const auto avg = [&state](const char* name, double seconds) {
+    state.counters[name] =
+        benchmark::Counter(seconds, benchmark::Counter::kAvgIterations);
+  };
+  avg("match_seconds", accum.match);
+  avg("commit_seconds", accum.commit);
+  avg("commit_expand_seconds", accum.commit_expand);
+  avg("commit_dedup_seconds", accum.commit_dedup);
+  avg("commit_index_seconds", accum.commit_index);
 }
 
 void BM_LinearChase(benchmark::State& state) {
   const uint32_t rounds = static_cast<uint32_t>(state.range(0));
-  double match_s = 0.0, commit_s = 0.0;
+  PhaseAccum phases;
   for (auto _ : state) {
     Vocabulary vocab;
     Theory t_p = ForwardPathTheory(vocab);
@@ -41,16 +64,15 @@ void BM_LinearChase(benchmark::State& state) {
     ChaseResult result = engine.RunToDepth(db, rounds);
     benchmark::DoNotOptimize(result.facts.size());
     state.counters["atoms"] = static_cast<double>(result.facts.size());
-    match_s += result.stats.MatchSeconds();
-    commit_s += result.stats.CommitSeconds();
+    phases.Add(result.stats);
   }
-  CountPhaseSeconds(state, match_s, commit_s);
+  CountPhaseSeconds(state, phases);
 }
 BENCHMARK(BM_LinearChase)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_DatalogClosure(benchmark::State& state) {
   const uint32_t path = static_cast<uint32_t>(state.range(0));
-  double match_s = 0.0, commit_s = 0.0;
+  PhaseAccum phases;
   for (auto _ : state) {
     Vocabulary vocab;
     Result<Theory> trans =
@@ -60,16 +82,15 @@ void BM_DatalogClosure(benchmark::State& state) {
     ChaseResult result = engine.RunToDepth(db, 32);
     benchmark::DoNotOptimize(result.facts.size());
     state.counters["atoms"] = static_cast<double>(result.facts.size());
-    match_s += result.stats.MatchSeconds();
-    commit_s += result.stats.CommitSeconds();
+    phases.Add(result.stats);
   }
-  CountPhaseSeconds(state, match_s, commit_s);
+  CountPhaseSeconds(state, phases);
 }
 BENCHMARK(BM_DatalogClosure)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_SemiNaiveAblation(benchmark::State& state) {
   const bool semi_naive = state.range(0) != 0;
-  double match_s = 0.0, commit_s = 0.0;
+  PhaseAccum phases;
   for (auto _ : state) {
     Vocabulary vocab;
     Result<Theory> trans =
@@ -81,10 +102,9 @@ void BM_SemiNaiveAblation(benchmark::State& state) {
     options.semi_naive = semi_naive;
     ChaseResult result = engine.Run(db, options);
     benchmark::DoNotOptimize(result.facts.size());
-    match_s += result.stats.MatchSeconds();
-    commit_s += result.stats.CommitSeconds();
+    phases.Add(result.stats);
   }
-  CountPhaseSeconds(state, match_s, commit_s);
+  CountPhaseSeconds(state, phases);
 }
 BENCHMARK(BM_SemiNaiveAblation)
     ->Arg(0)
@@ -94,7 +114,7 @@ BENCHMARK(BM_SemiNaiveAblation)
 void BM_TdStrategyAblation(benchmark::State& state) {
   const bool filtered = state.range(0) != 0;
   const uint32_t rounds = 8;  // unfiltered doubles per round: keep small
-  double match_s = 0.0, commit_s = 0.0;
+  PhaseAccum phases;
   for (auto _ : state) {
     Vocabulary vocab;
     Theory td = TdTheory(vocab);
@@ -107,10 +127,9 @@ void BM_TdStrategyAblation(benchmark::State& state) {
     ChaseResult result = engine.Run(db, options);
     benchmark::DoNotOptimize(result.facts.size());
     state.counters["atoms"] = static_cast<double>(result.facts.size());
-    match_s += result.stats.MatchSeconds();
-    commit_s += result.stats.CommitSeconds();
+    phases.Add(result.stats);
   }
-  CountPhaseSeconds(state, match_s, commit_s);
+  CountPhaseSeconds(state, phases);
 }
 BENCHMARK(BM_TdStrategyAblation)
     ->Arg(0)
@@ -119,7 +138,7 @@ BENCHMARK(BM_TdStrategyAblation)
 
 void BM_Example39Chase(benchmark::State& state) {
   const uint32_t colors = static_cast<uint32_t>(state.range(0));
-  double match_s = 0.0, commit_s = 0.0;
+  PhaseAccum phases;
   for (auto _ : state) {
     Vocabulary vocab;
     Theory ex39 = StickyExample39Theory(vocab);
@@ -128,10 +147,9 @@ void BM_Example39Chase(benchmark::State& state) {
     ChaseResult result = engine.RunToDepth(db, colors);
     benchmark::DoNotOptimize(result.facts.size());
     state.counters["atoms"] = static_cast<double>(result.facts.size());
-    match_s += result.stats.MatchSeconds();
-    commit_s += result.stats.CommitSeconds();
+    phases.Add(result.stats);
   }
-  CountPhaseSeconds(state, match_s, commit_s);
+  CountPhaseSeconds(state, phases);
 }
 BENCHMARK(BM_Example39Chase)->Arg(3)->Arg(4)->Arg(5);
 

@@ -36,8 +36,12 @@ struct SweepPoint {
   double seconds;
   double match_seconds;
   double commit_seconds;
+  double commit_expand_seconds;
+  double commit_dedup_seconds;
+  double commit_index_seconds;
   size_t atoms;
   uint64_t matches;
+  uint64_t parallel_rounds;
 };
 
 std::string Fmt(double v) {
@@ -59,8 +63,12 @@ void Sweep(const std::string& title, Vocabulary& vocab, const Theory& theory,
     ChaseResult result = engine.Run(db, options);
     points.push_back({threads, result.stats.total_seconds,
                       result.stats.MatchSeconds(),
-                      result.stats.CommitSeconds(), result.facts.size(),
-                      result.stats.TotalMatches()});
+                      result.stats.CommitSeconds(),
+                      result.stats.CommitExpandSeconds(),
+                      result.stats.CommitDedupSeconds(),
+                      result.stats.CommitIndexSeconds(), result.facts.size(),
+                      result.stats.TotalMatches(),
+                      result.stats.ParallelRounds()});
     if (threads == thread_counts.front()) {
       baseline = std::move(result);
     } else if (result.facts.atoms() != baseline.facts.atoms() ||
@@ -71,23 +79,33 @@ void Sweep(const std::string& title, Vocabulary& vocab, const Theory& theory,
       std::exit(1);
     }
   }
-  bench::Table table({"threads", "wall s", "match s", "commit s", "atoms",
-                      "matches", "speedup vs 1T", "identical"});
+  bench::Table table({"threads", "wall s", "match s", "commit s", "expand s",
+                      "dedup s", "index s", "atoms", "matches", "par rounds",
+                      "speedup vs 1T", "identical"});
   const double base_seconds = points.front().seconds;
   for (const SweepPoint& p : points) {
     table.AddRow({std::to_string(p.threads), Fmt(p.seconds),
                   Fmt(p.match_seconds), Fmt(p.commit_seconds),
-                  std::to_string(p.atoms), std::to_string(p.matches),
+                  Fmt(p.commit_expand_seconds), Fmt(p.commit_dedup_seconds),
+                  Fmt(p.commit_index_seconds), std::to_string(p.atoms),
+                  std::to_string(p.matches),
+                  std::to_string(p.parallel_rounds),
                   Fmt(base_seconds / p.seconds), "yes"});
     // Structured twin of the table row, with typed fields (the table's
-    // auto-emitted row carries strings only).
+    // auto-emitted row carries strings only).  The commit sub-phases let
+    // bench_diff attribute commit-phase movement to expansion, shard
+    // dedup, or index maintenance.
     bench::JsonRow()
         .Param("threads", uint64_t{p.threads})
         .Counter("atoms", p.atoms)
         .Counter("matches", p.matches)
+        .Counter("parallel_rounds", p.parallel_rounds)
         .Seconds("wall", p.seconds)
         .Seconds("match", p.match_seconds)
         .Seconds("commit", p.commit_seconds)
+        .Seconds("commit_expand", p.commit_expand_seconds)
+        .Seconds("commit_dedup", p.commit_dedup_seconds)
+        .Seconds("commit_index", p.commit_index_seconds)
         .Emit();
   }
   table.Print();

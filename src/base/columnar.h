@@ -59,6 +59,24 @@ class ColumnarSegment {
     for (auto& column : columns_) column.reserve(rows);
   }
 
+  // --- Bulk-fill path (sharded parallel commit) ----------------------------
+  // The pipelined batch insert pre-assigns every new row's position, grows
+  // the segment once on the coordinating thread (`ResizeRows`), and then
+  // fills each column from its own worker task (`MutableColumn`) — writes
+  // are disjoint per (column, row), so no synchronization is needed beyond
+  // the resize happening before the fill tasks start.
+
+  /// Grows the segment to `rows` total rows (new cells value-initialized).
+  /// Must not shrink.  Serial: call before any concurrent column fill.
+  void ResizeRows(size_t rows) {
+    for (auto& column : columns_) column.resize(rows);
+    rows_ = rows;
+  }
+
+  /// Direct mutable access to one column for disjoint parallel fills after
+  /// `ResizeRows`.
+  std::vector<TermId>& MutableColumn(uint32_t pos) { return columns_[pos]; }
+
  private:
   uint32_t arity_;
   size_t rows_ = 0;
@@ -266,6 +284,12 @@ struct RowBlock {
     predicates.push_back(predicate);
     terms.insert(terms.end(), row_terms, row_terms + arity);
     offsets.push_back(static_cast<uint32_t>(terms.size()));
+  }
+
+  void Reserve(size_t row_count, size_t term_count) {
+    predicates.reserve(row_count);
+    offsets.reserve(row_count + 1);
+    terms.reserve(term_count);
   }
 
   void Clear() {

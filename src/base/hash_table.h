@@ -65,6 +65,61 @@ class IdHashSet {
     }
   }
 
+  /// Rewrites the id of the entry matching (`hash`, `eq`) to `new_id`;
+  /// returns true if an entry was found.  The entry keeps its slot (the
+  /// hash is unchanged), so probe chains are untouched.  Used by the
+  /// sharded batch commit to promote provisional in-batch row markers to
+  /// their final global atom ids.
+  template <typename Eq>
+  bool ReplaceId(uint64_t hash, Eq&& eq, uint32_t new_id) {
+    size_t mask = slots_.size() - 1;
+    for (size_t i = hash & mask;; i = (i + 1) & mask) {
+      Slot& slot = slots_[i];
+      if (slot.id == kNotFound) return false;
+      if (slot.hash == hash && eq(slot.id)) {
+        slot.id = new_id;
+        return true;
+      }
+    }
+  }
+
+  /// Removes the entry matching (`hash`, `eq`) with backward-shift
+  /// deletion (no tombstones: subsequent entries of the probe chain are
+  /// moved back so every remaining entry stays reachable).  Returns true
+  /// if an entry was removed.  Used to roll provisional batch entries
+  /// back out after a mid-commit fault.
+  template <typename Eq>
+  bool Erase(uint64_t hash, Eq&& eq) {
+    size_t mask = slots_.size() - 1;
+    size_t i = hash & mask;
+    for (;; i = (i + 1) & mask) {
+      Slot& slot = slots_[i];
+      if (slot.id == kNotFound) return false;
+      if (slot.hash == hash && eq(slot.id)) break;
+    }
+    // Backward-shift: walk the cluster after the hole; any entry whose
+    // natural position does not lie strictly inside (hole, j] can fill
+    // the hole.
+    size_t hole = i;
+    for (size_t j = (i + 1) & mask;; j = (j + 1) & mask) {
+      const Slot& cand = slots_[j];
+      if (cand.id == kNotFound) break;
+      const size_t natural = cand.hash & mask;
+      // Distance (cyclic) from the candidate's natural slot to j vs from
+      // the hole to j: the candidate may move to the hole iff its natural
+      // slot is at or before the hole along the probe order.
+      const size_t dist_natural = (j - natural) & mask;
+      const size_t dist_hole = (j - hole) & mask;
+      if (dist_natural >= dist_hole) {
+        slots_[hole] = cand;
+        hole = j;
+      }
+    }
+    slots_[hole] = Slot{0, kNotFound};
+    --size_;
+    return true;
+  }
+
   /// Pre-sizes the table for `n` total entries (one rehash up front
   /// instead of log(n) incremental ones during a bulk insert).
   void Reserve(size_t n) {

@@ -11,6 +11,7 @@
 
 #include "base/check.h"
 #include "base/failpoint.h"
+#include "base/worker_pool.h"
 #include "chase/snapshot.h"
 #include "hom/matcher.h"
 #include "hom/structure_ops.h"
@@ -38,9 +39,20 @@ struct ChaseMetrics {
   obs::Counter& deduped;
   obs::Counter& atoms_inserted;
   obs::Counter& budget_stops;
+  // Sharded-commit observability: batches committed through the pipelined
+  // path, rounds the small-round serial fallback kept on one thread, and
+  // per-batch shard occupancy (rows routed to the busiest dedup shard /
+  // shards touched — the contention picture of DESIGN.md §5).
+  obs::Counter& shard_commits;
+  obs::Counter& serial_rounds;
   obs::Gauge& live_bytes;
   obs::Histogram& match_seconds;
   obs::Histogram& commit_seconds;
+  obs::Histogram& commit_expand_seconds;
+  obs::Histogram& commit_dedup_seconds;
+  obs::Histogram& commit_index_seconds;
+  obs::Histogram& shard_max_rows;
+  obs::Histogram& shards_touched;
   obs::Histogram& run_seconds;
 
   static ChaseMetrics& Get() {
@@ -48,6 +60,10 @@ struct ChaseMetrics {
       obs::Registry& reg = obs::DefaultRegistry();
       const std::vector<double> phase_buckets = {1e-4, 1e-3, 1e-2, 0.1,
                                                  1.0,  10.0, 100.0};
+      const std::vector<double> row_buckets = {1.0,  10.0, 100.0, 1e3,
+                                               1e4,  1e5,  1e6};
+      const std::vector<double> shard_buckets = {1.0, 2.0, 4.0, 8.0, 16.0,
+                                                 32.0, 64.0, 128.0, 256.0};
       return new ChaseMetrics{
           reg.GetCounter("frontiers.chase.runs"),
           reg.GetCounter("frontiers.chase.rounds"),
@@ -58,9 +74,19 @@ struct ChaseMetrics {
           reg.GetCounter("frontiers.chase.deduped"),
           reg.GetCounter("frontiers.chase.atoms_inserted"),
           reg.GetCounter("frontiers.chase.budget_stops"),
+          reg.GetCounter("frontiers.chase.shard_commits"),
+          reg.GetCounter("frontiers.chase.serial_rounds"),
           reg.GetGauge("frontiers.chase.live_bytes"),
           reg.GetHistogram("frontiers.chase.match_seconds", phase_buckets),
           reg.GetHistogram("frontiers.chase.commit_seconds", phase_buckets),
+          reg.GetHistogram("frontiers.chase.commit_expand_seconds",
+                           phase_buckets),
+          reg.GetHistogram("frontiers.chase.commit_dedup_seconds",
+                           phase_buckets),
+          reg.GetHistogram("frontiers.chase.commit_index_seconds",
+                           phase_buckets),
+          reg.GetHistogram("frontiers.chase.shard_max_rows", row_buckets),
+          reg.GetHistogram("frontiers.chase.shards_touched", shard_buckets),
           reg.GetHistogram("frontiers.chase.run_seconds", phase_buckets)};
     }();
     return *metrics;
@@ -204,6 +230,32 @@ double ChaseStats::CommitSeconds() const {
   return total;
 }
 
+double ChaseStats::CommitExpandSeconds() const {
+  double total = 0;
+  for (const ChaseRoundStats& r : rounds) total += r.commit_expand_seconds;
+  return total;
+}
+
+double ChaseStats::CommitDedupSeconds() const {
+  double total = 0;
+  for (const ChaseRoundStats& r : rounds) total += r.commit_dedup_seconds;
+  return total;
+}
+
+double ChaseStats::CommitIndexSeconds() const {
+  double total = 0;
+  for (const ChaseRoundStats& r : rounds) total += r.commit_index_seconds;
+  return total;
+}
+
+uint64_t ChaseStats::ParallelRounds() const {
+  uint64_t total = 0;
+  for (const ChaseRoundStats& r : rounds) {
+    if (r.used_threads > 1) ++total;
+  }
+  return total;
+}
+
 uint64_t ChaseStats::TotalInserted() const {
   uint64_t total = 0;
   for (const ChaseRoundStats& r : rounds) total += r.atoms_inserted;
@@ -229,18 +281,19 @@ std::string ChaseStats::Summary() const {
   const double commit = CommitSeconds();
   const double total = TotalSeconds();
   const double other = total > match + commit ? total - match - commit : 0.0;
-  char buffer[256];
+  char buffer[384];
   std::snprintf(
       buffer, sizeof(buffer),
       "rounds=%zu matches=%llu staged=%llu deduped=%llu committed=%llu "
-      "preempted=%llu inserted=%llu match=%.3fs commit=%.3fs other=%.3fs "
-      "total=%.3fs",
+      "preempted=%llu inserted=%llu match=%.3fs commit=%.3fs "
+      "(expand=%.3fs dedup=%.3fs index=%.3fs) other=%.3fs total=%.3fs",
       rounds.size(), static_cast<unsigned long long>(TotalMatches()),
       static_cast<unsigned long long>(TotalStaged()),
       static_cast<unsigned long long>(TotalDeduped()),
       static_cast<unsigned long long>(TotalCommitted()),
       static_cast<unsigned long long>(TotalPreempted()),
-      static_cast<unsigned long long>(TotalInserted()), match, commit, other,
+      static_cast<unsigned long long>(TotalInserted()), match, commit,
+      CommitExpandSeconds(), CommitDedupSeconds(), CommitIndexSeconds(), other,
       total);
   return buffer;
 }
@@ -373,6 +426,13 @@ void ChaseEngine::ExpandHead(size_t rule_index,
     // mutates the vocabulary until the next ExpandHead call.
     nulls = vocab_.SkolemRow(layout.skolem_block, fn_args_scratch);
   }
+  AppendHeadRows(rule_index, bindings, nulls, out);
+}
+
+void ChaseEngine::AppendHeadRows(size_t rule_index,
+                                 const std::vector<TermId>& bindings,
+                                 const TermId* nulls, RowBlock* out) const {
+  const CommitLayout& layout = commit_layouts_[rule_index];
   for (const HeadAtomLayout& atom_layout : layout.head) {
     const size_t arity = atom_layout.slots.size();
     const size_t offset = out->terms.size();
@@ -677,6 +737,14 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
   const bool provenance =
       options.track_provenance || options.record_all_derivations;
   const uint32_t num_threads = ResolveWorkerCount(options.threads);
+  // One persistent worker pool per run (not per round): spawning threads
+  // every round cost more than the match work itself on thin-round
+  // workloads (the E17a 2-thread regression), so workers now park on a
+  // condition variable between rounds.  The pool executes both the match
+  // units and the commit pipeline's shard/index tasks.
+  std::optional<WorkerPool> pool_storage;
+  if (num_threads > 1) pool_storage.emplace(num_threads);
+  WorkerPool* pool = pool_storage.has_value() ? &*pool_storage : nullptr;
   // Governance (budget/cancellation checks) is off the hot path entirely
   // when no budget is installed.
   const bool governed = options.deadline_seconds > 0 ||
@@ -824,6 +892,10 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
   std::vector<uint32_t> surviving;
   std::vector<FactSet::InsertOutcome> outcomes;
   std::vector<TermId> fn_args_scratch;
+  // Work hint for the small-round serial fallback: the input delta for the
+  // first round, then the previous round's matches + staged applications.
+  // A pure execution heuristic — it gates *who* computes, never what.
+  uint64_t work_hint = delta_atoms.size();
   while (round < options.max_rounds && !atom_budget_hit) {
     if (governed) {
       if (std::optional<ChaseStop> stop = boundary_stop()) {
@@ -839,6 +911,13 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
     phase_span.emplace("chase.match", "chase");
     const Clock::time_point match_start = Clock::now();
     ChaseRoundStats round_stats;
+    // Small-round serial fallback: dispatching a thin round to the pool
+    // costs more than the round itself, so it stays on the calling thread.
+    const uint32_t round_threads =
+        (num_threads > 1 && work_hint < options.serial_round_threshold)
+            ? 1
+            : num_threads;
+    round_stats.used_threads = round_threads;
     Matcher matcher(vocab_, result.facts);
     const std::unordered_set<TermId> new_terms(delta_terms.begin(),
                                                delta_terms.end());
@@ -934,10 +1013,10 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
         if (seeds == delta_by_pred.end()) continue;
         const std::vector<uint32_t>& seed_list = seeds->second;
         const size_t chunk =
-            num_threads > 1
-                ? std::max<size_t>(1, (seed_list.size() + num_threads * 4 -
+            round_threads > 1
+                ? std::max<size_t>(1, (seed_list.size() + round_threads * 4 -
                                        1) /
-                                          (num_threads * 4))
+                                          (round_threads * 4))
                 : seed_list.size();
         unit.seed_pos = j;
         unit.seed_list = &seed_list;
@@ -1085,35 +1164,15 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
     };
 
     std::vector<UnitBuffer> buffers(units.size());
-    const size_t workers = std::min<size_t>(num_threads, units.size());
-    if (workers > 1) {
-      std::atomic<size_t> next_unit{0};
-      std::atomic<bool> failed{false};
-      std::exception_ptr first_error;
-      std::mutex error_mutex;
-      auto work = [&]() {
-        for (;;) {
-          const size_t i = next_unit.fetch_add(1, std::memory_order_relaxed);
-          if (i >= units.size() || failed.load(std::memory_order_relaxed) ||
-              aborting()) {
-            return;
-          }
-          try {
-            run_unit(units[i], buffers[i]);
-          } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
-            failed.store(true, std::memory_order_relaxed);
-            return;
-          }
-        }
-      };
-      std::vector<std::thread> pool;
-      pool.reserve(workers - 1);
-      for (size_t w = 0; w + 1 < workers; ++w) pool.emplace_back(work);
-      work();  // the calling thread is the last worker
-      for (std::thread& t : pool) t.join();
-      if (first_error) std::rethrow_exception(first_error);
+    const size_t workers = std::min<size_t>(round_threads, units.size());
+    if (workers > 1 && pool != nullptr) {
+      // The persistent pool claims units off an atomic counter; each unit's
+      // buffer is written by exactly one worker, and Run rethrows the first
+      // worker exception after every thread quiesced.
+      pool->Run(units.size(), [&](size_t i) {
+        if (governed && aborting()) return;
+        run_unit(units[i], buffers[i]);
+      });
     } else {
       for (size_t i = 0; i < units.size(); ++i) {
         if (governed && aborting()) break;
@@ -1292,13 +1351,20 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
         if (atom_budget_hit) break;
       }
     } else {
-      // Semi-oblivious: set-at-a-time.  Phase 1 expands every surviving
-      // application into one columnar pending block (frontier dedup plus
-      // one block-Skolem probe per application); phase 2 bulk-inserts the
-      // block against the store's indexes; phase 3 replays the per-row
-      // outcomes for depth/provenance/birth bookkeeping.  All three phases
-      // walk the merged staging order, so the result is byte-identical to
-      // committing one atom at a time.
+      // Semi-oblivious: set-at-a-time, pipelined (DESIGN.md §5, "Sharded
+      // commit pipeline").  Phase 1a (serial) walks the merged staging
+      // order through the frontier memo; phase 1b expands surviving
+      // applications into one columnar pending block — in parallel chunks
+      // when the round is wide, probing interned Skolem rows through the
+      // const lookup and renumbering misses serially so TermId assignment
+      // stays in staged order; phase 2 bulk-inserts the block through the
+      // sharded parallel commit; phase 3 replays the per-row outcomes for
+      // depth/provenance/birth bookkeeping.  Every phase preserves the
+      // merged staging order, so the result is byte-identical to
+      // committing one atom at a time, at every thread and shard count.
+      const Clock::time_point expand_start = Clock::now();
+      std::optional<obs::Span> commit_sub_span;
+      commit_sub_span.emplace("chase.commit.expand", "chase");
       pending.Clear();
       surviving.clear();
       surviving.reserve(staged.size());
@@ -1317,23 +1383,142 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
           }
           live_bytes += key_bytes;
         }
-        ExpandHead(app.rule_index, app.bindings, fn_args_scratch, &pending);
         surviving.push_back(s);
       }
+      // Placeholder TermIds for Skolem rows not yet interned live above
+      // this bit; real ids stay below it (guarded before going parallel).
+      constexpr uint32_t kLocalTermBit = 0x80000000u;
+      const bool parallel_expand = round_threads > 1 && pool != nullptr &&
+                                   surviving.size() >= 512 &&
+                                   vocab_.NumTerms() < kLocalTermBit;
+      if (!parallel_expand) {
+        for (uint32_t s : surviving) {
+          ExpandHead(staged[s].rule_index, staged[s].bindings,
+                     fn_args_scratch, &pending);
+        }
+      } else {
+        // Workers expand contiguous chunks of the surviving order with the
+        // const Skolem-row probe; an application tuple never interned
+        // before gets a chunk-local placeholder row recorded in the
+        // chunk's arena.  Nothing mutates the vocabulary until the serial
+        // renumbering pass below.
+        struct ExpandChunk {
+          RowBlock rows;
+          std::vector<uint32_t> miss_blocks;           // Skolem block per miss
+          std::vector<std::vector<TermId>> miss_args;  // fn args per miss
+          std::vector<uint32_t> miss_offsets;  // placeholder base per miss
+          uint32_t placeholder_count = 0;
+        };
+        const size_t chunk_size = std::max<size_t>(
+            1, (surviving.size() + round_threads * 4 - 1) /
+                   (round_threads * 4));
+        const size_t num_chunks =
+            (surviving.size() + chunk_size - 1) / chunk_size;
+        std::vector<ExpandChunk> chunks(num_chunks);
+        pool->Run(num_chunks, [&](size_t c) {
+          ExpandChunk& chunk = chunks[c];
+          std::vector<TermId> fn_args;
+          std::vector<TermId> placeholder_row;
+          const size_t begin = c * chunk_size;
+          const size_t end = std::min(surviving.size(), begin + chunk_size);
+          for (size_t k = begin; k < end; ++k) {
+            const StagedApplication& app = staged[surviving[k]];
+            const CommitLayout& layout = commit_layouts_[app.rule_index];
+            const TermId* nulls = nullptr;
+            if (layout.skolem_block != kNoSkolemBlock) {
+              fn_args.clear();
+              for (uint32_t slot : layout.fn_arg_slots) {
+                fn_args.push_back(app.bindings[slot]);
+              }
+              nulls = vocab_.FindSkolemRow(layout.skolem_block, fn_args);
+              if (nulls == nullptr) {
+                const uint32_t size =
+                    vocab_.SkolemBlockSize(layout.skolem_block);
+                chunk.miss_blocks.push_back(layout.skolem_block);
+                chunk.miss_args.push_back(fn_args);
+                chunk.miss_offsets.push_back(chunk.placeholder_count);
+                placeholder_row.clear();
+                for (uint32_t i = 0; i < size; ++i) {
+                  placeholder_row.push_back(kLocalTermBit |
+                                            (chunk.placeholder_count + i));
+                }
+                chunk.placeholder_count += size;
+                nulls = placeholder_row.data();
+              }
+            }
+            AppendHeadRows(app.rule_index, app.bindings, nulls, &chunk.rows);
+          }
+        });
+        // Serial renumbering: chunks partition the staged order
+        // contiguously, so interning each chunk's misses in chunk order
+        // reproduces exactly the lazy intern order of the serial engine —
+        // identical TermIds at every thread count.  (SkolemRow is
+        // idempotent, so a tuple missed by several chunks interns once, at
+        // its first staged occurrence.)
+        for (ExpandChunk& chunk : chunks) {
+          std::vector<TermId> resolved(chunk.placeholder_count);
+          for (size_t m = 0; m < chunk.miss_blocks.size(); ++m) {
+            const TermId* row =
+                vocab_.SkolemRow(chunk.miss_blocks[m], chunk.miss_args[m]);
+            const uint32_t size =
+                vocab_.SkolemBlockSize(chunk.miss_blocks[m]);
+            for (uint32_t i = 0; i < size; ++i) {
+              resolved[chunk.miss_offsets[m] + i] = row[i];
+            }
+          }
+          for (TermId& t : chunk.rows.terms) {
+            if (t & kLocalTermBit) t = resolved[t & ~kLocalTermBit];
+          }
+          if (pending.offsets.empty()) pending.offsets.push_back(0);
+          const uint32_t term_base =
+              static_cast<uint32_t>(pending.terms.size());
+          pending.predicates.insert(pending.predicates.end(),
+                                    chunk.rows.predicates.begin(),
+                                    chunk.rows.predicates.end());
+          pending.terms.insert(pending.terms.end(), chunk.rows.terms.begin(),
+                               chunk.rows.terms.end());
+          for (size_t r = 1; r < chunk.rows.offsets.size(); ++r) {
+            pending.offsets.push_back(term_base + chunk.rows.offsets[r]);
+          }
+        }
+        FRONTIERS_CHECK(vocab_.NumTerms() < kLocalTermBit,
+                        "chase: TermId space reached the placeholder bit");
+      }
+      round_stats.commit_expand_seconds = Seconds(Clock::now() - expand_start);
+
       outcomes.clear();
-      // A fired `fact_set.insert_batch` failpoint makes InsertBatch refuse
-      // the whole batch (store untouched, outcomes empty) — which would
-      // otherwise be indistinguishable from an atom-budget truncation at
-      // row zero.  Detect it by the fired-count delta and classify the stop
-      // as a resumable injected fault instead of kAtomBudget.  The
+      // A fired `fact_set.insert_batch` failpoint makes the batch insert
+      // refuse the whole batch (store untouched, outcomes empty) — which
+      // would otherwise be indistinguishable from an atom-budget truncation
+      // at row zero; `fact_set.shard_commit` aborts the batch from inside a
+      // shard task with the same contract (provisional dedup entries rolled
+      // back).  Detect both by their fired-count deltas and classify the
+      // stop as a resumable injected fault instead of kAtomBudget.  The
       // EverArmed() guard keeps unarmed runs at one relaxed load.
       const bool fault_detect = failpoint::EverArmed();
       const uint64_t batch_fired_before =
           fault_detect ? failpoint::FiredCount("fact_set.insert_batch") : 0;
-      const size_t added =
-          result.facts.InsertBatch(pending, &outcomes, options.max_atoms);
-      if (fault_detect && failpoint::FiredCount("fact_set.insert_batch") !=
-                              batch_fired_before) {
+      const uint64_t shard_fired_before =
+          fault_detect ? failpoint::FiredCount("fact_set.shard_commit") : 0;
+      commit_sub_span.emplace("chase.commit.insert", "chase");
+      FactSet::BatchTimings batch_timings;
+      FactSet::BatchStats batch_stats;
+      const size_t added = result.facts.InsertBatchParallel(
+          pending, &outcomes, round_threads > 1 ? pool : nullptr,
+          options.max_atoms, &batch_timings, &batch_stats);
+      commit_sub_span.reset();
+      round_stats.commit_dedup_seconds = batch_timings.dedup_seconds;
+      round_stats.commit_index_seconds = batch_timings.index_seconds;
+      metrics.shard_commits.Add();
+      metrics.shard_max_rows.Observe(
+          static_cast<double>(batch_stats.max_shard_rows));
+      metrics.shards_touched.Observe(
+          static_cast<double>(batch_stats.shards_touched));
+      if (fault_detect &&
+          (failpoint::FiredCount("fact_set.insert_batch") !=
+               batch_fired_before ||
+           failpoint::FiredCount("fact_set.shard_commit") !=
+               shard_fired_before)) {
         // Roll back phase 1's dedup-memo inserts so the state is exactly
         // the previous round boundary.  (Skolem rows interned by ExpandHead
         // stay in the vocabulary; hash-consing re-interns them to identical
@@ -1393,6 +1578,10 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
     metrics.atoms_inserted.Add(round_stats.atoms_inserted);
     metrics.match_seconds.Observe(round_stats.match_seconds);
     metrics.commit_seconds.Observe(round_stats.commit_seconds);
+    metrics.commit_expand_seconds.Observe(round_stats.commit_expand_seconds);
+    metrics.commit_dedup_seconds.Observe(round_stats.commit_dedup_seconds);
+    metrics.commit_index_seconds.Observe(round_stats.commit_index_seconds);
+    if (num_threads > 1 && round_threads == 1) metrics.serial_rounds.Add();
 #ifndef NDEBUG
     published.rounds += 1;
     published.matches += round_stats.matches;
@@ -1412,6 +1601,10 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
     }
     delta_atoms = std::move(new_delta_atoms);
     delta_terms = std::move(new_delta_terms);
+    // The next round's staged volume tracks this round's match output far
+    // better than the delta size alone; both feed the serial-fallback
+    // decision (ChaseOptions::serial_round_threshold).
+    work_hint = round_stats.matches + round_stats.staged;
     ++round;
   }
   return finish(ChaseStop::kRoundBudget, round);

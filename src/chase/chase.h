@@ -120,6 +120,21 @@ struct ChaseRoundStats {
   double match_seconds = 0.0;
   /// Wall time of the merge + commit phase.
   double commit_seconds = 0.0;
+  // Sub-phases of commit_seconds, so bench_diff can attribute commit-phase
+  // movement (the remainder of commit_seconds is outcome replay and
+  // bookkeeping).  These are diagnostics: they are excluded from snapshots
+  // (FRSN encodes only the counters above plus the two phase timings) and
+  // from parity comparisons, like all timings.
+  /// Frontier-memo dedup + head expansion + Skolem row interning.
+  double commit_expand_seconds = 0.0;
+  /// Batch insert: hashing + per-shard dedup probes + id assignment.
+  double commit_dedup_seconds = 0.0;
+  /// Batch insert: column fill, posting appends, domain/degree updates.
+  double commit_index_seconds = 0.0;
+  /// Workers this round actually used (1 when the small-round serial
+  /// fallback engaged; see ChaseOptions::serial_round_threshold).  Purely
+  /// an execution record — results are byte-identical either way.
+  uint32_t used_threads = 1;
 };
 
 /// Aggregated statistics of a chase run (one entry per started round).
@@ -142,6 +157,13 @@ struct ChaseStats {
   uint64_t TotalDeduped() const;
   double MatchSeconds() const;
   double CommitSeconds() const;
+  /// Summed commit sub-timings (see ChaseRoundStats).
+  double CommitExpandSeconds() const;
+  double CommitDedupSeconds() const;
+  double CommitIndexSeconds() const;
+  /// Rounds that ran with more than one worker (i.e. where the small-round
+  /// serial fallback did *not* engage).
+  uint64_t ParallelRounds() const;
   uint64_t TotalInserted() const;
 
   /// Wall time of the whole run.  In debug builds (NDEBUG undefined) this
@@ -215,6 +237,15 @@ struct ChaseOptions {
   /// (Skolem interning) happens on the calling thread during commit (see
   /// DESIGN.md §"Parallel round pipeline").
   uint32_t threads = 1;
+  /// Small-round serial fallback: when the round's work hint (the input
+  /// delta for the first round, the previous round's matches + staged
+  /// applications after that) falls below this threshold, both the match
+  /// and commit phases stay on the calling thread even with `threads > 1`.
+  /// Dispatching a handful of matches to a pool costs more than the work
+  /// itself (the E17a 2-thread regression), so thin rounds run serially;
+  /// the decision is recorded in ChaseRoundStats::used_threads and never
+  /// affects results (byte-identity holds at every thread count anyway).
+  uint64_t serial_round_threshold = 2048;
   /// Record the first derivation of every produced atom.
   bool track_provenance = false;
   /// Record *every* derivation of every produced atom (implies
@@ -404,6 +435,15 @@ class ChaseEngine {
   /// caller-provided scratch to keep the hot path allocation-free.
   void ExpandHead(size_t rule_index, const std::vector<TermId>& bindings,
                   std::vector<TermId>& fn_args_scratch, RowBlock* out) const;
+
+  /// The pure-layout tail of ExpandHead: appends the head rows with the
+  /// application's Skolem nulls already resolved to `nulls` (null for
+  /// Datalog rules).  The parallel commit pipeline calls this with either
+  /// a row found via the const `Vocabulary::FindSkolemRow` probe or a
+  /// per-chunk arena placeholder row, then renumbers placeholders in a
+  /// serial pass (DESIGN.md §5, "Sharded commit pipeline").
+  void AppendHeadRows(size_t rule_index, const std::vector<TermId>& bindings,
+                      const TermId* nulls, RowBlock* out) const;
 
   Vocabulary& vocab_;
   Theory theory_;

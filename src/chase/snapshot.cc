@@ -222,6 +222,11 @@ Result<ChaseSnapshot> MakeSnapshot(const Vocabulary& vocab,
   return snap;
 }
 
+// The wire format is canonical over the logical chase state: it serializes
+// atoms in insertion order plus round stats, never the store's internal
+// dedup layout.  In particular FactSet's shard count is a pure performance
+// knob — a snapshot taken from an N-shard store decodes into an M-shard
+// store byte-identically (shard_test covers the round-trip).
 std::string EncodeSnapshot(const ChaseSnapshot& snapshot) {
   obs::Span span("snapshot.encode", "snapshot");
   std::string out;

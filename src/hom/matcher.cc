@@ -57,6 +57,11 @@ struct SearchState {
   // under the current partial substitution: the hash-join probe against
   // the most selective bound position's posting list, falling back to the
   // per-predicate scan when no position is bound.
+  //
+  // Concurrency contract with the sharded store (DESIGN.md §5): posting
+  // lists and segments are epoch-stable — FactSet only mutates them inside
+  // a commit phase, and match workers only read them between commits.
+  // Reads therefore take no locks here, at any thread or shard count.
   PostingList CandidatesFor(size_t i) const {
     const Atom& atom = pattern[i];
     PostingList best;

@@ -252,12 +252,23 @@ FactSet GenerateInstance(Vocabulary& vocab,
     constants.push_back(vocab.Constant(NumberedName("C", i)));
   }
   for (uint32_t f = 0; f < options.num_facts; ++f) {
+    // Both skew knobs short-circuit when unset so the default options
+    // consume exactly the historical rng stream (seed stability).
+    const bool dominant = options.dominant_predicate_chance > 0 &&
+                          rng.Chance(options.dominant_predicate_chance, 8);
     const PredicateId pred =
-        signature[rng.Below(static_cast<uint32_t>(signature.size()))];
+        dominant
+            ? signature.front()
+            : signature[rng.Below(static_cast<uint32_t>(signature.size()))];
     std::vector<TermId> args;
     const uint32_t arity = vocab.PredicateArity(pred);
     args.reserve(arity);
     for (uint32_t i = 0; i < arity; ++i) {
+      if (i == 0 && options.hub_chance > 0 &&
+          rng.Chance(options.hub_chance, 8)) {
+        args.push_back(constants.front());
+        continue;
+      }
       args.push_back(constants[rng.Below(num_constants)]);
     }
     facts.Insert(Atom(pred, std::move(args)));

@@ -65,6 +65,16 @@ struct InstanceGenOptions {
   uint32_t num_constants = 6;
   /// Fact draws; duplicates collapse, so the instance may be smaller.
   uint32_t num_facts = 16;
+  /// Chance (out of 8) that a fact's first argument is the hub constant
+  /// C0.  FactSet shards its dedup tables by (predicate, first term), so a
+  /// high hub bias concentrates commits onto few shards — the imbalanced
+  /// regime shard_test exercises.  0 (default) draws uniformly and keeps
+  /// the rng stream of existing seeds unchanged.
+  uint32_t hub_chance = 0;
+  /// Chance (out of 8) that a fact uses the signature's first predicate
+  /// instead of a uniform draw — the dominant-predicate skew.  0 (default)
+  /// keeps existing seeds unchanged.
+  uint32_t dominant_predicate_chance = 0;
 };
 
 /// Generates a theory of the requested class.  Deterministic in (seed,
