@@ -28,16 +28,21 @@ struct PhaseAccum {
   double commit_expand = 0.0;
   double commit_dedup = 0.0;
   double commit_index = 0.0;
+  double shard_wait = 0.0;
+  double shard_hold = 0.0;
   void Add(const ChaseStats& stats) {
     match += stats.MatchSeconds();
     commit += stats.CommitSeconds();
     // Commit sub-phases of the sharded pipeline (DESIGN.md §5): expansion
     // into the pending block, shard dedup, and index maintenance.
     // Tracking them separately lets bench_diff attribute commit-phase
-    // movement.
+    // movement.  Shard wait/hold splits the dedup phase into contention
+    // (blocked on a shard mutex) vs productive time under it.
     commit_expand += stats.CommitExpandSeconds();
     commit_dedup += stats.CommitDedupSeconds();
     commit_index += stats.CommitIndexSeconds();
+    shard_wait += stats.ShardWaitSeconds();
+    shard_hold += stats.ShardHoldSeconds();
   }
 };
 
@@ -51,6 +56,8 @@ void CountPhaseSeconds(benchmark::State& state, const PhaseAccum& accum) {
   avg("commit_expand_seconds", accum.commit_expand);
   avg("commit_dedup_seconds", accum.commit_dedup);
   avg("commit_index_seconds", accum.commit_index);
+  avg("shard_wait_seconds", accum.shard_wait);
+  avg("shard_hold_seconds", accum.shard_hold);
 }
 
 void BM_LinearChase(benchmark::State& state) {
@@ -191,7 +198,8 @@ class JsonlReporter : public benchmark::ConsoleReporter {
 }  // namespace frontiers
 
 // Hand-expanded BENCHMARK_MAIN() routed through bench::Main so this binary
-// honors --trace=/--profile=/--metrics= like the table-style experiments.
+// honors --trace=/--tasks=/--profile=/--metrics= like the table-style
+// experiments.
 // Those flags are stripped before benchmark::Initialize, which would
 // otherwise reject them.
 int main(int argc, char** argv) {
@@ -199,6 +207,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (i == 0 || (arg.rfind("--trace=", 0) != 0 &&
+                   arg.rfind("--tasks=", 0) != 0 &&
                    arg.rfind("--profile=", 0) != 0 &&
                    arg.rfind("--metrics=", 0) != 0)) {
       bench_argv.push_back(argv[i]);

@@ -39,6 +39,15 @@ struct SweepPoint {
   double commit_expand_seconds;
   double commit_dedup_seconds;
   double commit_index_seconds;
+  // Parallelism accounting (PR 9): total task work, critical path, the
+  // Brent-bound speedup they imply, shard-mutex contention, and the worst
+  // round's shard-row imbalance (max shard rows / mean shard rows).
+  double work_seconds;
+  double critical_path_seconds;
+  double max_speedup;
+  double shard_wait_seconds;
+  double shard_hold_seconds;
+  double shard_imbalance;
   size_t atoms;
   uint64_t matches;
   uint64_t parallel_rounds;
@@ -58,16 +67,37 @@ void Sweep(const std::string& title, Vocabulary& vocab, const Theory& theory,
   ChaseEngine engine(vocab, theory);
   std::vector<SweepPoint> points;
   ChaseResult baseline;
+  {
+    // Warm-up: the first chase over a fresh instance pays first-touch page
+    // faults and allocator growth that later runs don't, which would make
+    // the 1-thread baseline look artificially slow (and every "speedup vs
+    // 1T" artificially high, even on a single-core machine).  One untimed
+    // run absorbs that cost.
+    ChaseOptions warm = options;
+    warm.threads = thread_counts.front();
+    (void)engine.Run(db, warm);
+  }
   for (uint32_t threads : thread_counts) {
     options.threads = threads;
     ChaseResult result = engine.Run(db, options);
+    double worst_imbalance = 0.0;
+    for (const ChaseRoundStats& r : result.stats.rounds) {
+      if (r.shard_imbalance > worst_imbalance) {
+        worst_imbalance = r.shard_imbalance;
+      }
+    }
     points.push_back({threads, result.stats.total_seconds,
                       result.stats.MatchSeconds(),
                       result.stats.CommitSeconds(),
                       result.stats.CommitExpandSeconds(),
                       result.stats.CommitDedupSeconds(),
-                      result.stats.CommitIndexSeconds(), result.facts.size(),
-                      result.stats.TotalMatches(),
+                      result.stats.CommitIndexSeconds(),
+                      result.stats.WorkSeconds(),
+                      result.stats.CriticalPathSeconds(),
+                      result.stats.AchievableSpeedup(),
+                      result.stats.ShardWaitSeconds(),
+                      result.stats.ShardHoldSeconds(), worst_imbalance,
+                      result.facts.size(), result.stats.TotalMatches(),
                       result.stats.ParallelRounds()});
     if (threads == thread_counts.front()) {
       baseline = std::move(result);
@@ -80,21 +110,25 @@ void Sweep(const std::string& title, Vocabulary& vocab, const Theory& theory,
     }
   }
   bench::Table table({"threads", "wall s", "match s", "commit s", "expand s",
-                      "dedup s", "index s", "atoms", "matches", "par rounds",
-                      "speedup vs 1T", "identical"});
+                      "dedup s", "index s", "work s", "critpath s",
+                      "max speedup", "shard wait s", "imbalance", "atoms",
+                      "matches", "par rounds", "speedup vs 1T", "identical"});
   const double base_seconds = points.front().seconds;
   for (const SweepPoint& p : points) {
     table.AddRow({std::to_string(p.threads), Fmt(p.seconds),
                   Fmt(p.match_seconds), Fmt(p.commit_seconds),
                   Fmt(p.commit_expand_seconds), Fmt(p.commit_dedup_seconds),
-                  Fmt(p.commit_index_seconds), std::to_string(p.atoms),
-                  std::to_string(p.matches),
+                  Fmt(p.commit_index_seconds), Fmt(p.work_seconds),
+                  Fmt(p.critical_path_seconds), Fmt(p.max_speedup),
+                  Fmt(p.shard_wait_seconds), Fmt(p.shard_imbalance),
+                  std::to_string(p.atoms), std::to_string(p.matches),
                   std::to_string(p.parallel_rounds),
                   Fmt(base_seconds / p.seconds), "yes"});
     // Structured twin of the table row, with typed fields (the table's
     // auto-emitted row carries strings only).  The commit sub-phases let
     // bench_diff attribute commit-phase movement to expansion, shard
-    // dedup, or index maintenance.
+    // dedup, or index maintenance; the work/span/contention fields let
+    // par_report compare its prediction against the observed sweep.
     bench::JsonRow()
         .Param("threads", uint64_t{p.threads})
         .Counter("atoms", p.atoms)
@@ -106,7 +140,14 @@ void Sweep(const std::string& title, Vocabulary& vocab, const Theory& theory,
         .Seconds("commit_expand", p.commit_expand_seconds)
         .Seconds("commit_dedup", p.commit_dedup_seconds)
         .Seconds("commit_index", p.commit_index_seconds)
+        .Seconds("work", p.work_seconds)
+        .Seconds("critical_path", p.critical_path_seconds)
+        .Seconds("shard_wait", p.shard_wait_seconds)
+        .Seconds("shard_hold", p.shard_hold_seconds)
         .Emit();
+    // max_speedup / shard_imbalance are run-varying, so they ride in the
+    // table auto-row (string params, never joined) — putting them in the
+    // typed row's params would make its bench_diff join key unstable.
   }
   table.Print();
   std::printf("1-thread run: %s\n\n", baseline.stats.Summary().c_str());

@@ -14,6 +14,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/task_stream.h"
 #include "obs/trace.h"
 
 /// Build identifier stamped into every machine-readable bench row.  The
@@ -385,22 +386,27 @@ inline std::string ExperimentName(const char* argv0) {
 ///   }
 ///
 /// Names the JSON sink after the binary, honors `--trace=<file.json>` by
-/// wrapping the whole run in an obs::TraceSession, `--profile=<file>` by
-/// wrapping it in an obs::ProfileSession (the report goes to `<file>`, its
-/// folded-stack flamegraph form to `<file>.folded`), and `--metrics=<file>`
-/// by dumping the default metrics registry as JSON after the run.  Accepts
-/// both `void Run()` and `int Run()` experiment bodies.  Telemetry write
-/// errors go to stderr but do not change the exit code: a bench whose
-/// table printed fine should not fail CI because /tmp filled up.
+/// wrapping the whole run in an obs::TraceSession, `--tasks=<file.jsonl>`
+/// by wrapping it in an obs::TaskStreamSession (worker-pool task and shard
+/// contention records, joinable with the trace through par_report),
+/// `--profile=<file>` by wrapping it in an obs::ProfileSession (the report
+/// goes to `<file>`, its folded-stack flamegraph form to `<file>.folded`),
+/// and `--metrics=<file>` by dumping the default metrics registry as JSON
+/// after the run.  Accepts both `void Run()` and `int Run()` experiment
+/// bodies.  Telemetry write errors go to stderr but do not change the exit
+/// code: a bench whose table printed fine should not fail CI because /tmp
+/// filled up.
 template <typename RunFn>
 int Main(int argc, char** argv, RunFn run) {
   JsonSink::Instance().SetExperiment(ExperimentName(argc > 0 ? argv[0] : ""));
   const char* trace_path = nullptr;
+  const char* tasks_path = nullptr;
   const char* profile_path = nullptr;
   const char* metrics_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg.rfind("--trace=", 0) == 0) trace_path = argv[i] + 8;
+    if (arg.rfind("--tasks=", 0) == 0) tasks_path = argv[i] + 8;
     if (arg.rfind("--profile=", 0) == 0) profile_path = argv[i] + 10;
     if (arg.rfind("--metrics=", 0) == 0) metrics_path = argv[i] + 10;
   }
@@ -412,6 +418,15 @@ int Main(int argc, char** argv, RunFn run) {
     }
   } else {
     trace_path = nullptr;
+  }
+  if (tasks_path != nullptr && *tasks_path != '\0') {
+    Status started = obs::TaskStreamSession::Start(tasks_path);
+    if (!started.ok()) {
+      std::fprintf(stderr, "[tasks] %s\n", started.message().c_str());
+      tasks_path = nullptr;
+    }
+  } else {
+    tasks_path = nullptr;
   }
   if (profile_path != nullptr && *profile_path != '\0') {
     Status started = obs::ProfileSession::Start();
@@ -447,6 +462,14 @@ int Main(int argc, char** argv, RunFn run) {
       std::printf("[metrics] wrote %s\n", metrics_path);
     } else {
       std::fprintf(stderr, "[metrics] cannot write %s\n", metrics_path);
+    }
+  }
+  if (tasks_path != nullptr) {
+    Status stopped = obs::TaskStreamSession::Stop();
+    if (stopped.ok()) {
+      std::printf("[tasks] wrote %s\n", tasks_path);
+    } else {
+      std::fprintf(stderr, "[tasks] %s\n", stopped.message().c_str());
     }
   }
   if (trace_path != nullptr) {

@@ -8,6 +8,7 @@
 
 #include "base/check.h"
 #include "base/failpoint.h"
+#include "base/obs_hooks.h"
 #include "base/worker_pool.h"
 
 namespace frontiers {
@@ -210,7 +211,10 @@ size_t FactSet::InsertBatchParallel(const RowBlock& block,
     const Clock::time_point start = Clock::now();
     size_t added = InsertBatch(block, outcomes, max_size);
     if (timings != nullptr) timings->dedup_seconds += SecondsSince(start);
-    if (stats != nullptr) stats->new_atoms = added;
+    if (stats != nullptr) {
+      stats->new_atoms = added;
+      stats->rows = rows;
+    }
     return added;
   }
   // Same admission failpoint as the serial path (the serial fallback above
@@ -224,6 +228,25 @@ size_t FactSet::InsertBatchParallel(const RowBlock& block,
   const uint32_t num_shards = shard_count();
   const size_t num_threads =
       pool != nullptr ? std::max<size_t>(1, pool->threads()) : 1;
+  // Contention/critical-path timing: needed whenever the caller wants
+  // BatchStats (the chase always does) or a task-stream session is live.
+  // Cost is a handful of clock reads per *task* (tasks are shard- or
+  // column-sized, never row-sized), all landing in disjoint scratch slots.
+  const bool timed = stats != nullptr || obs::taskhooks::TasksEnabled();
+  const uint64_t batch_id =
+      obs::taskhooks::TasksEnabled() ? obs::taskhooks::NextBatchId() : 0;
+  const auto region_stats = [](const std::vector<uint64_t>& busy_ns,
+                               double wall_seconds,
+                               BatchStats::ParallelRegion* region) {
+    uint64_t total = 0, longest = 0;
+    for (uint64_t ns : busy_ns) {
+      total += ns;
+      longest = std::max(longest, ns);
+    }
+    region->wall_seconds += wall_seconds;
+    region->work_seconds += static_cast<double>(total) * 1e-9;
+    region->longest_seconds += static_cast<double>(longest) * 1e-9;
+  };
   // Generic over the task body: the inline (single-thread) branch calls it
   // directly, so only the pool branch pays a std::function conversion.
   const auto run = [&](size_t count, const auto& fn) {
@@ -251,6 +274,7 @@ size_t FactSet::InsertBatchParallel(const RowBlock& block,
   s.tasks.clear();
 
   // --- Phase A0: per-row hashing + shard routing (embarrassingly parallel).
+  BatchStats::ParallelRegion hash_region, dedup_region, index_region;
   std::vector<uint64_t>& hashes = s.hashes;
   std::vector<uint32_t>& shard_of = s.shard_of;
   hashes.resize(rows);
@@ -258,7 +282,11 @@ size_t FactSet::InsertBatchParallel(const RowBlock& block,
   {
     const size_t chunk = (rows + num_threads - 1) / num_threads;
     const size_t chunks = (rows + chunk - 1) / chunk;
+    if (timed) s.task_busy_ns.assign(chunks, 0);
+    const Clock::time_point region_start = Clock::now();
     run(chunks, [&](size_t c) {
+      const uint64_t task_start =
+          timed ? obs::internal::NowNanos() : 0;
       const size_t begin = c * chunk;
       const size_t end = std::min(rows, begin + chunk);
       for (size_t row = begin; row < end; ++row) {
@@ -268,7 +296,11 @@ size_t FactSet::InsertBatchParallel(const RowBlock& block,
         hashes[row] = HashRow(p, terms, arity);
         shard_of[row] = DedupShardOf(p, terms, arity);
       }
+      if (timed) s.task_busy_ns[c] = obs::internal::NowNanos() - task_start;
     });
+    if (timed) {
+      region_stats(s.task_busy_ns, SecondsSince(region_start), &hash_region);
+    }
   }
 
   // --- Serial prep: resolve predicates (the map may gain entries, which
@@ -300,10 +332,20 @@ size_t FactSet::InsertBatchParallel(const RowBlock& block,
   std::vector<uint32_t>& found = s.found;
   found.assign(rows, RowIdSet::kNotFound);
   std::vector<std::vector<uint32_t>>& shard_new = s.shard_new;
+  if (timed) {
+    s.shard_wait_ns.assign(num_shards, 0);
+    s.shard_hold_ns.assign(num_shards, 0);
+  }
   std::atomic<bool> faulted{false};
+  const Clock::time_point dedup_region_start = Clock::now();
   run(active_shards.size(), [&](size_t task) {
     const uint32_t sh = active_shards[task];
+    // Wait vs hold: the gap between requesting and acquiring the shard
+    // mutex is contention; everything after acquisition is productive
+    // work.  Each shard has exactly one dedup task, so slot `sh` is ours.
+    const uint64_t lock_requested = timed ? obs::internal::NowNanos() : 0;
     std::lock_guard<std::mutex> lock(*shard_mutexes_[sh]);
+    const uint64_t lock_acquired = timed ? obs::internal::NowNanos() : 0;
     // Torture harness: a mid-commit fault inside one shard's task.  The
     // whole batch aborts; provisional entries in *every* shard are rolled
     // back below.
@@ -333,7 +375,20 @@ size_t FactSet::InsertBatchParallel(const RowBlock& block,
       found[row] = resident;
       if (resident == marker) shard_new[sh].push_back(row);
     }
+    if (timed) {
+      s.shard_wait_ns[sh] = lock_acquired - lock_requested;
+      s.shard_hold_ns[sh] = obs::internal::NowNanos() - lock_acquired;
+    }
   });
+  if (timed) {
+    // The dedup region's "work" is lock-hold time (all task work runs
+    // under the shard mutex); wait time is accounted separately as
+    // contention.
+    s.task_busy_ns.assign(num_shards, 0);
+    for (uint32_t sh : active_shards) s.task_busy_ns[sh] = s.shard_hold_ns[sh];
+    region_stats(s.task_busy_ns, SecondsSince(dedup_region_start),
+                 &dedup_region);
+  }
 
   if (faulted.load(std::memory_order_relaxed)) {
     // Roll every provisional entry back out (backward-shift erase), leaving
@@ -455,11 +510,16 @@ size_t FactSet::InsertBatchParallel(const RowBlock& block,
     }
   }
   if (!new_rows.empty()) tasks.push_back({kDomain, 0, 0});
+  if (timed) s.task_busy_ns.assign(tasks.size(), 0);
+  const Clock::time_point index_region_start = Clock::now();
   run(tasks.size(), [&](size_t t) {
+    const uint64_t task_start = timed ? obs::internal::NowNanos() : 0;
     const IndexTask& task = tasks[t];
     switch (task.kind) {
       case kFixup: {
+        const uint64_t lock_requested = timed ? obs::internal::NowNanos() : 0;
         std::lock_guard<std::mutex> lock(*shard_mutexes_[task.a]);
+        const uint64_t lock_acquired = timed ? obs::internal::NowNanos() : 0;
         RowIdSet& dedup = shards_[task.a].dedup;
         for (uint32_t row : shard_new[task.a]) {
           const uint32_t marker = kBatchRowBit | row;
@@ -467,6 +527,13 @@ size_t FactSet::InsertBatchParallel(const RowBlock& block,
               hashes[row], [&](uint32_t id) { return id == marker; },
               row_global[row]);
           FRONTIERS_CHECK(replaced, "FactSet: provisional dedup entry lost");
+        }
+        if (timed) {
+          // One fix-up task per shard, so slot `task.a` stays disjoint;
+          // += folds it onto the dedup task's wait/hold for this shard.
+          s.shard_wait_ns[task.a] += lock_acquired - lock_requested;
+          s.shard_hold_ns[task.a] +=
+              obs::internal::NowNanos() - lock_acquired;
         }
         break;
       }
@@ -509,16 +576,37 @@ size_t FactSet::InsertBatchParallel(const RowBlock& block,
         break;
       }
     }
+    if (timed) s.task_busy_ns[t] = obs::internal::NowNanos() - task_start;
   });
+  if (timed) {
+    region_stats(s.task_busy_ns, SecondsSince(index_region_start),
+                 &index_region);
+  }
   if (timings != nullptr) timings->index_seconds += SecondsSince(index_start);
   if (stats != nullptr) {
     stats->new_atoms = added;
     stats->shards_touched = static_cast<uint32_t>(active_shards.size());
+    stats->rows = rows;
     uint64_t max_rows = 0;
     for (uint32_t sh : active_shards) {
       max_rows = std::max<uint64_t>(max_rows, shard_rows[sh].size());
     }
     stats->max_shard_rows = max_rows;
+    for (uint32_t sh : active_shards) {
+      stats->shard_wait_ns += s.shard_wait_ns[sh];
+      stats->shard_hold_ns += s.shard_hold_ns[sh];
+      stats->max_shard_wait_ns =
+          std::max(stats->max_shard_wait_ns, s.shard_wait_ns[sh]);
+    }
+    stats->hash = hash_region;
+    stats->dedup = dedup_region;
+    stats->index = index_region;
+  }
+  if (timed && obs::taskhooks::TasksEnabled()) {
+    for (uint32_t sh : active_shards) {
+      obs::taskhooks::EmitShard({batch_id, sh, shard_rows[sh].size(),
+                                 s.shard_wait_ns[sh], s.shard_hold_ns[sh]});
+    }
   }
   return added;
 }

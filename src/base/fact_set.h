@@ -113,11 +113,32 @@ class FactSet {
     double index_seconds = 0.0;  ///< column fill, postings, atoms, domain
   };
 
-  /// Per-batch shard occupancy, for the obs layer's contention metrics.
+  /// Per-batch shard occupancy and contention, for the obs layer's
+  /// metrics and the chase's parallelism accounting.  All timing fields
+  /// are pure observation: they are filled from per-task clock reads into
+  /// disjoint scratch slots and never influence the committed state.
   struct BatchStats {
     uint32_t shards_touched = 0;   ///< shards that saw at least one row
     uint64_t max_shard_rows = 0;   ///< rows routed to the busiest shard
     uint64_t new_atoms = 0;        ///< rows that were actually new
+    uint64_t rows = 0;             ///< rows in the batch
+    /// Shard-mutex contention summed over the batch's dedup + fix-up
+    /// tasks: time spent blocked acquiring vs holding a shard mutex.
+    uint64_t shard_wait_ns = 0;
+    uint64_t shard_hold_ns = 0;
+    uint64_t max_shard_wait_ns = 0;  ///< worst single shard's wait
+    /// One parallel region of the batch pipeline: region wall time, total
+    /// task work inside it, and the longest single task (the region's
+    /// critical path — with perfect scheduling the region can't finish
+    /// faster than this).
+    struct ParallelRegion {
+      double wall_seconds = 0.0;
+      double work_seconds = 0.0;
+      double longest_seconds = 0.0;
+    };
+    ParallelRegion hash;   ///< Phase A0: per-chunk hashing + routing.
+    ParallelRegion dedup;  ///< Phase A: per-shard dedup (work = lock hold).
+    ParallelRegion index;  ///< Phase B: index-fill tasks.
   };
 
   /// The pipelined twin of `InsertBatch`: byte-identical outcomes and
@@ -291,6 +312,12 @@ class FactSet {
       uint32_t b;
     };
     std::vector<IndexTask> tasks;
+    // Per-task timing slots (BatchStats).  Disjoint by construction — each
+    // task writes exactly its own index — so recording them is race-free
+    // and cannot perturb results.
+    std::vector<uint64_t> task_busy_ns;   // per task of the current region
+    std::vector<uint64_t> shard_wait_ns;  // per shard, dedup + fix-up
+    std::vector<uint64_t> shard_hold_ns;  // per shard, dedup + fix-up
   };
 
   /// Shard routing: predicate + first ground term (kNoTerm for arity 0).

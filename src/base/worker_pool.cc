@@ -2,10 +2,19 @@
 
 namespace frontiers {
 
+namespace {
+
+uint32_t QueueDepthAfterClaim(size_t count, size_t claimed) {
+  const size_t depth = count - claimed - 1;
+  return depth > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(depth);
+}
+
+}  // namespace
+
 WorkerPool::WorkerPool(uint32_t threads) : threads_(threads < 1 ? 1 : threads) {
   workers_.reserve(threads_ - 1);
   for (uint32_t w = 0; w + 1 < threads_; ++w) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, w] { WorkerLoop(w + 1); });
   }
 }
 
@@ -18,7 +27,11 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void WorkerPool::DrainBatch() {
+void WorkerPool::DrainBatch(uint32_t worker) {
+  // One relaxed load per drain, not per task: a batch is the unit a worker
+  // participates in, and a session starting mid-batch only misses that
+  // batch's remainder (benign — sessions start at phase boundaries).
+  const bool telemetry = obs::taskhooks::TasksEnabled();
   // Claim tasks until the counter runs dry or a sibling failed.  A failed
   // batch stops dispatching new tasks but still drains the claimed ones,
   // so Run() can safely report completion before rethrowing.
@@ -26,6 +39,8 @@ void WorkerPool::DrainBatch() {
     if (failed_.load(std::memory_order_relaxed)) return;
     const size_t i = next_task_.fetch_add(1, std::memory_order_relaxed);
     if (i >= count_) return;
+    uint64_t start_ns = 0;
+    if (telemetry) start_ns = obs::internal::NowNanos();
     try {
       (*fn_)(i);
     } catch (...) {
@@ -34,10 +49,16 @@ void WorkerPool::DrainBatch() {
       failed_.store(true, std::memory_order_relaxed);
       return;
     }
+    if (telemetry) {
+      obs::taskhooks::EmitTask({batch_seq_, i, worker,
+                                QueueDepthAfterClaim(count_, i),
+                                batch_enqueue_ns_, start_ns,
+                                obs::internal::NowNanos()});
+    }
   }
 }
 
-void WorkerPool::WorkerLoop() {
+void WorkerPool::WorkerLoop(uint32_t worker) {
   uint64_t seen_generation = 0;
   for (;;) {
     {
@@ -45,23 +66,41 @@ void WorkerPool::WorkerLoop() {
       work_ready_.wait(lock, [&] {
         return shutdown_ || generation_ != seen_generation;
       });
-      if (shutdown_) return;
+      if (shutdown_) break;
       seen_generation = generation_;
     }
-    DrainBatch();
+    DrainBatch(worker);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++active_;  // repurposed as "workers done with this generation"
     }
     batch_done_.notify_all();
   }
+  // Drain this thread's buffered telemetry (trace spans, task records)
+  // before the destructor joins us: a session stopped after the pool died
+  // must still see complete per-thread streams.
+  obs::taskhooks::NotifyWorkerThreadExit();
 }
 
 void WorkerPool::Run(size_t count, const std::function<void(size_t)>& fn) {
   if (count == 0) return;
   if (workers_.empty()) {
-    // Inline execution: same semantics, no synchronization.
-    for (size_t i = 0; i < count; ++i) fn(i);
+    if (!obs::taskhooks::TasksEnabled()) {
+      // Inline execution: same semantics, no synchronization.
+      for (size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    const uint64_t batch = obs::taskhooks::NextBatchId();
+    const uint64_t enqueue_ns = obs::internal::NowNanos();
+    for (size_t i = 0; i < count; ++i) {
+      const uint64_t start_ns = obs::internal::NowNanos();
+      fn(i);
+      obs::taskhooks::EmitTask({batch, i, /*worker=*/0,
+                                QueueDepthAfterClaim(count, i), enqueue_ns,
+                                start_ns, obs::internal::NowNanos()});
+    }
+    obs::taskhooks::EmitBatch(
+        {batch, count, /*threads=*/1, enqueue_ns, obs::internal::NowNanos()});
     return;
   }
   {
@@ -76,9 +115,12 @@ void WorkerPool::Run(size_t count, const std::function<void(size_t)>& fn) {
     first_error_ = nullptr;
     active_ = 0;
     ++generation_;
+    batch_seq_ = obs::taskhooks::NextBatchId();
+    batch_enqueue_ns_ =
+        obs::taskhooks::TasksEnabled() ? obs::internal::NowNanos() : 0;
   }
   work_ready_.notify_all();
-  DrainBatch();  // the calling thread participates
+  DrainBatch(/*worker=*/0);  // the calling thread participates
   // Wait until EVERY background worker has finished this generation (not
   // merely until the task counter drained): a worker that woke late could
   // otherwise still be inside DrainBatch while the next batch replaces
@@ -87,11 +129,18 @@ void WorkerPool::Run(size_t count, const std::function<void(size_t)>& fn) {
   batch_done_.wait(lock,
                    [&] { return active_ == workers_.size(); });
   fn_ = nullptr;
+  const uint64_t batch = batch_seq_;
+  const uint64_t enqueue_ns = batch_enqueue_ns_;
   if (first_error_) {
     std::exception_ptr err = first_error_;
     first_error_ = nullptr;
     lock.unlock();
     std::rethrow_exception(err);
+  }
+  lock.unlock();
+  if (obs::taskhooks::TasksEnabled()) {
+    obs::taskhooks::EmitBatch(
+        {batch, count, threads_, enqueue_ns, obs::internal::NowNanos()});
   }
 }
 

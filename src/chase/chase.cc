@@ -45,7 +45,16 @@ struct ChaseMetrics {
   // shards touched — the contention picture of DESIGN.md §5).
   obs::Counter& shard_commits;
   obs::Counter& serial_rounds;
+  // Thread-usage decisions per round, so heartbeat/metrics-only consumers
+  // see the serial_round_threshold fallback engaging without reading
+  // ChaseRoundStats: every round lands in exactly one of these two.
+  obs::Counter& rounds_parallel;
+  obs::Counter& rounds_serial;
   obs::Gauge& live_bytes;
+  // Shard contention per batch commit (wait = blocked acquiring a shard
+  // mutex, hold = productive time under it) and the latest batch's
+  // max/mean shard-row imbalance.
+  obs::Gauge& shard_imbalance;
   obs::Histogram& match_seconds;
   obs::Histogram& commit_seconds;
   obs::Histogram& commit_expand_seconds;
@@ -53,6 +62,8 @@ struct ChaseMetrics {
   obs::Histogram& commit_index_seconds;
   obs::Histogram& shard_max_rows;
   obs::Histogram& shards_touched;
+  obs::Histogram& shard_wait_seconds;
+  obs::Histogram& shard_hold_seconds;
   obs::Histogram& run_seconds;
 
   static ChaseMetrics& Get() {
@@ -76,7 +87,10 @@ struct ChaseMetrics {
           reg.GetCounter("frontiers.chase.budget_stops"),
           reg.GetCounter("frontiers.chase.shard_commits"),
           reg.GetCounter("frontiers.chase.serial_rounds"),
+          reg.GetCounter("frontiers.chase.rounds_parallel"),
+          reg.GetCounter("frontiers.chase.rounds_serial"),
           reg.GetGauge("frontiers.chase.live_bytes"),
+          reg.GetGauge("frontiers.chase.shard_imbalance"),
           reg.GetHistogram("frontiers.chase.match_seconds", phase_buckets),
           reg.GetHistogram("frontiers.chase.commit_seconds", phase_buckets),
           reg.GetHistogram("frontiers.chase.commit_expand_seconds",
@@ -87,6 +101,10 @@ struct ChaseMetrics {
                            phase_buckets),
           reg.GetHistogram("frontiers.chase.shard_max_rows", row_buckets),
           reg.GetHistogram("frontiers.chase.shards_touched", shard_buckets),
+          reg.GetHistogram("frontiers.chase.shard_wait_seconds",
+                           phase_buckets),
+          reg.GetHistogram("frontiers.chase.shard_hold_seconds",
+                           phase_buckets),
           reg.GetHistogram("frontiers.chase.run_seconds", phase_buckets)};
     }();
     return *metrics;
@@ -164,6 +182,13 @@ std::string ChaseHeartbeat::ToJsonLine() const {
     line += buffer;
   } else {
     line += ",\"eta_seconds\":null";
+  }
+  if (max_speedup >= 0) {
+    std::snprintf(buffer, sizeof(buffer), ",\"max_speedup\":%.6g",
+                  max_speedup);
+    line += buffer;
+  } else {
+    line += ",\"max_speedup\":null";
   }
   if (stop != nullptr) {
     // Stop names are fixed lowercase literals (ChaseStopName); no escaping.
@@ -262,6 +287,39 @@ uint64_t ChaseStats::TotalInserted() const {
   return total;
 }
 
+double ChaseStats::WorkSeconds() const {
+  double total = 0;
+  for (const ChaseRoundStats& r : rounds) total += r.work_seconds;
+  return total;
+}
+
+double ChaseStats::CriticalPathSeconds() const {
+  double total = 0;
+  for (const ChaseRoundStats& r : rounds) total += r.critical_path_seconds;
+  return total;
+}
+
+double ChaseStats::ShardWaitSeconds() const {
+  double total = 0;
+  for (const ChaseRoundStats& r : rounds) total += r.shard_wait_seconds;
+  return total;
+}
+
+double ChaseStats::ShardHoldSeconds() const {
+  double total = 0;
+  for (const ChaseRoundStats& r : rounds) total += r.shard_hold_seconds;
+  return total;
+}
+
+double ChaseStats::AchievableSpeedup() const {
+  const double work = WorkSeconds();
+  const double span = CriticalPathSeconds();
+  if (work <= 0.0 || span <= 0.0) return 1.0;
+  // The critical path is a lower bound on wall time, so work/span >= 1 up
+  // to measurement noise on degenerate (near-empty) rounds.
+  return std::max(1.0, work / span);
+}
+
 double ChaseStats::TotalSeconds() const {
 #ifndef NDEBUG
   // Phases are sub-intervals of the run, measured with the same steady
@@ -281,12 +339,13 @@ std::string ChaseStats::Summary() const {
   const double commit = CommitSeconds();
   const double total = TotalSeconds();
   const double other = total > match + commit ? total - match - commit : 0.0;
-  char buffer[384];
+  char buffer[512];
   std::snprintf(
       buffer, sizeof(buffer),
       "rounds=%zu matches=%llu staged=%llu deduped=%llu committed=%llu "
       "preempted=%llu inserted=%llu match=%.3fs commit=%.3fs "
-      "(expand=%.3fs dedup=%.3fs index=%.3fs) other=%.3fs total=%.3fs",
+      "(expand=%.3fs dedup=%.3fs index=%.3fs) other=%.3fs total=%.3fs "
+      "work=%.3fs critpath=%.3fs max_speedup=%.2fx",
       rounds.size(), static_cast<unsigned long long>(TotalMatches()),
       static_cast<unsigned long long>(TotalStaged()),
       static_cast<unsigned long long>(TotalDeduped()),
@@ -294,7 +353,7 @@ std::string ChaseStats::Summary() const {
       static_cast<unsigned long long>(TotalPreempted()),
       static_cast<unsigned long long>(TotalInserted()), match, commit,
       CommitExpandSeconds(), CommitDedupSeconds(), CommitIndexSeconds(), other,
-      total);
+      total, WorkSeconds(), CriticalPathSeconds(), AchievableSpeedup());
   return buffer;
 }
 
@@ -557,6 +616,10 @@ struct MatchUnit {
 struct UnitBuffer {
   std::vector<StagedApplication> staged;
   uint64_t matches = 0;
+  // Wall time this unit's enumeration took, for the round's work/span
+  // accounting (units are the match phase's parallel tasks).  Disjoint
+  // slot per unit, so recording it is race-free.
+  uint64_t busy_ns = 0;
 };
 
 }  // namespace
@@ -824,6 +887,11 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
                      bytes_per_second);
       }
     }
+    // Brent-bound achievable speedup over the rounds committed so far;
+    // stays null until the first round's accounting lands.
+    if (result.stats.WorkSeconds() > 0) {
+      hb.max_speedup = result.stats.AchievableSpeedup();
+    }
     hb.stop = stop_name;
     if (options.heartbeat_sink) {
       options.heartbeat_sink(hb);
@@ -1035,6 +1103,7 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
     auto run_unit = [&](const MatchUnit& unit, UnitBuffer& out) {
       // Per-unit span, recorded into the worker's own trace buffer.
       obs::Span unit_span("chase.unit", "chase");
+      const uint64_t unit_start_ns = obs::internal::NowNanos();
       const Tgd& rule = theory_.rules[unit.rule_index];
       const CommitLayout& layout = commit_layouts_[unit.rule_index];
       uint64_t poll_counter = 0;
@@ -1161,10 +1230,26 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
           break;
         }
       }
+      out.busy_ns = obs::internal::NowNanos() - unit_start_ns;
+    };
+
+    // Parallelism accounting for this round (ChaseRoundStats work/span,
+    // DESIGN.md §7).  Each parallel region contributes its wall-clock span,
+    // its total task work, and its longest single task; whatever the round
+    // wall does not spend inside a region is serial by definition.  Pure
+    // diagnostics — excluded from snapshots and parity comparisons.
+    double par_wall = 0.0;
+    double par_work = 0.0;
+    double par_longest = 0.0;
+    auto add_region = [&](double wall, double work, double longest) {
+      par_wall += wall;
+      par_work += work;
+      par_longest += longest;
     };
 
     std::vector<UnitBuffer> buffers(units.size());
     const size_t workers = std::min<size_t>(round_threads, units.size());
+    const Clock::time_point units_start = Clock::now();
     if (workers > 1 && pool != nullptr) {
       // The persistent pool claims units off an atomic counter; each unit's
       // buffer is written by exactly one worker, and Run rethrows the first
@@ -1178,6 +1263,20 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
         if (governed && aborting()) break;
         run_unit(units[i], buffers[i]);
       }
+    }
+    // The match units are the round's parallelism grain regardless of who
+    // executed them, so the region is recorded even for serial rounds —
+    // that is what makes AchievableSpeedup meaningful from a 1-thread run.
+    {
+      const double units_wall = Seconds(Clock::now() - units_start);
+      uint64_t work_ns = 0;
+      uint64_t longest_ns = 0;
+      for (const UnitBuffer& buffer : buffers) {
+        work_ns += buffer.busy_ns;
+        longest_ns = std::max(longest_ns, buffer.busy_ns);
+      }
+      add_region(units_wall, static_cast<double>(work_ns) * 1e-9,
+                 static_cast<double>(longest_ns) * 1e-9);
     }
 
     if (governed) {
@@ -1415,7 +1514,12 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
         const size_t num_chunks =
             (surviving.size() + chunk_size - 1) / chunk_size;
         std::vector<ExpandChunk> chunks(num_chunks);
+        // Per-chunk busy time feeds the round's work/span accounting; each
+        // chunk writes only its own slot.
+        std::vector<uint64_t> chunk_busy_ns(num_chunks, 0);
+        const Clock::time_point chunks_start = Clock::now();
         pool->Run(num_chunks, [&](size_t c) {
+          const uint64_t chunk_start_ns = obs::internal::NowNanos();
           ExpandChunk& chunk = chunks[c];
           std::vector<TermId> fn_args;
           std::vector<TermId> placeholder_row;
@@ -1448,7 +1552,19 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
             }
             AppendHeadRows(app.rule_index, app.bindings, nulls, &chunk.rows);
           }
+          chunk_busy_ns[c] = obs::internal::NowNanos() - chunk_start_ns;
         });
+        {
+          const double chunks_wall = Seconds(Clock::now() - chunks_start);
+          uint64_t work_ns = 0;
+          uint64_t longest_ns = 0;
+          for (uint64_t ns : chunk_busy_ns) {
+            work_ns += ns;
+            longest_ns = std::max(longest_ns, ns);
+          }
+          add_region(chunks_wall, static_cast<double>(work_ns) * 1e-9,
+                     static_cast<double>(longest_ns) * 1e-9);
+        }
         // Serial renumbering: chunks partition the staged order
         // contiguously, so interning each chunk's misses in chunk order
         // reproduces exactly the lazy intern order of the serial engine —
@@ -1509,11 +1625,34 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
       commit_sub_span.reset();
       round_stats.commit_dedup_seconds = batch_timings.dedup_seconds;
       round_stats.commit_index_seconds = batch_timings.index_seconds;
+      // The insert's three parallel sub-phases and their shard contention
+      // flow into the round's work/span accounting and the registry.
+      add_region(batch_stats.hash.wall_seconds, batch_stats.hash.work_seconds,
+                 batch_stats.hash.longest_seconds);
+      add_region(batch_stats.dedup.wall_seconds,
+                 batch_stats.dedup.work_seconds,
+                 batch_stats.dedup.longest_seconds);
+      add_region(batch_stats.index.wall_seconds,
+                 batch_stats.index.work_seconds,
+                 batch_stats.index.longest_seconds);
+      round_stats.shard_wait_seconds =
+          static_cast<double>(batch_stats.shard_wait_ns) * 1e-9;
+      round_stats.shard_hold_seconds =
+          static_cast<double>(batch_stats.shard_hold_ns) * 1e-9;
+      if (batch_stats.rows > 0 && batch_stats.shards_touched > 0) {
+        round_stats.shard_imbalance =
+            static_cast<double>(batch_stats.max_shard_rows) /
+            (static_cast<double>(batch_stats.rows) /
+             static_cast<double>(batch_stats.shards_touched));
+      }
       metrics.shard_commits.Add();
       metrics.shard_max_rows.Observe(
           static_cast<double>(batch_stats.max_shard_rows));
       metrics.shards_touched.Observe(
           static_cast<double>(batch_stats.shards_touched));
+      metrics.shard_wait_seconds.Observe(round_stats.shard_wait_seconds);
+      metrics.shard_hold_seconds.Observe(round_stats.shard_hold_seconds);
+      metrics.shard_imbalance.Set(round_stats.shard_imbalance);
       if (fault_detect &&
           (failpoint::FiredCount("fact_set.insert_batch") !=
                batch_fired_before ||
@@ -1564,6 +1703,18 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
     std::vector<TermId> new_delta_terms(domain_after.begin() + domain_before,
                                         domain_after.end());
     round_stats.commit_seconds = Seconds(Clock::now() - commit_start);
+    // Round work/span from the per-region accounting: whatever the round
+    // wall did not spend inside a parallel region ran serially and bounds
+    // the achievable speedup (Amdahl); the span adds each region's longest
+    // task (Brent).  Clamped at zero against clock skew between the outer
+    // wall and per-region timestamps.
+    {
+      const double round_wall =
+          round_stats.match_seconds + round_stats.commit_seconds;
+      const double serial_part = std::max(0.0, round_wall - par_wall);
+      round_stats.work_seconds = serial_part + par_work;
+      round_stats.critical_path_seconds = serial_part + par_longest;
+    }
     phase_span.reset();
     result.stats.rounds.push_back(round_stats);
 
@@ -1582,6 +1733,14 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
     metrics.commit_dedup_seconds.Observe(round_stats.commit_dedup_seconds);
     metrics.commit_index_seconds.Observe(round_stats.commit_index_seconds);
     if (num_threads > 1 && round_threads == 1) metrics.serial_rounds.Add();
+    // Every round lands in exactly one bucket: the pair answers "did the
+    // used_threads / serial_round_threshold decision engage" without
+    // reading ChaseRoundStats.
+    if (round_threads > 1) {
+      metrics.rounds_parallel.Add();
+    } else {
+      metrics.rounds_serial.Add();
+    }
 #ifndef NDEBUG
     published.rounds += 1;
     published.matches += round_stats.matches;

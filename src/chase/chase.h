@@ -135,6 +135,25 @@ struct ChaseRoundStats {
   /// fallback engaged; see ChaseOptions::serial_round_threshold).  Purely
   /// an execution record — results are byte-identical either way.
   uint32_t used_threads = 1;
+  // Parallelism accounting (diagnostics like the sub-timings above:
+  // excluded from snapshots and parity comparisons).  The round's wall
+  // time decomposes into parallel regions (match units, commit expand
+  // chunks, batch hash/dedup/index tasks) and the serial remainder;
+  // work/critical-path are the Brent bounds over that decomposition.
+  /// Total productive time: serial remainder + every region's summed task
+  /// time.  What one thread would need (T_1).
+  double work_seconds = 0.0;
+  /// Serial remainder + every region's longest task: the floor on round
+  /// wall time at infinite parallelism (T_inf).  work/critical_path is the
+  /// round's achievable speedup.
+  double critical_path_seconds = 0.0;
+  /// Shard-mutex contention inside this round's batch insert: total time
+  /// commit tasks spent blocked on (vs holding) shard mutexes.
+  double shard_wait_seconds = 0.0;
+  double shard_hold_seconds = 0.0;
+  /// Batch imbalance: busiest shard's rows over the mean rows per touched
+  /// shard (1.0 = perfectly balanced; 0 when nothing was batch-inserted).
+  double shard_imbalance = 0.0;
 };
 
 /// Aggregated statistics of a chase run (one entry per started round).
@@ -165,6 +184,16 @@ struct ChaseStats {
   /// serial fallback did *not* engage).
   uint64_t ParallelRounds() const;
   uint64_t TotalInserted() const;
+  /// Summed parallelism accounting (see ChaseRoundStats).
+  double WorkSeconds() const;
+  double CriticalPathSeconds() const;
+  double ShardWaitSeconds() const;
+  double ShardHoldSeconds() const;
+  /// Achievable speedup of this run by the work/span bound:
+  /// WorkSeconds() / CriticalPathSeconds() — what a perfect scheduler with
+  /// unlimited workers could reach given the run's serial sections.  1.0
+  /// when no accounting was collected (degenerate runs).
+  double AchievableSpeedup() const;
 
   /// Wall time of the whole run.  In debug builds (NDEBUG undefined) this
   /// checks the phase accounting invariant: the summed match + commit
@@ -210,6 +239,10 @@ struct ChaseHeartbeat {
   /// Stop reason ("fixpoint", "deadline", ...) on the final heartbeat a
   /// run emits; nullptr on periodic ones.  Points at a string literal.
   const char* stop = nullptr;
+  /// Achievable speedup of the rounds completed so far (the work/span
+  /// bound; see ChaseStats::AchievableSpeedup).  Negative when no
+  /// accounting has been collected yet — rendered as null in JSON.
+  double max_speedup = -1.0;
 
   /// The heartbeat as one JSONL line (schema `frontiers-heartbeat-v1`,
   /// no trailing newline) — what the default sink writes and what

@@ -166,8 +166,14 @@ BenchCompareReport CompareBench(const std::vector<BenchRow>& base,
                       : (delta.head_seconds > 0
                              ? std::numeric_limits<double>::infinity()
                              : 1.0);
-    const bool noise = base_seconds < options.min_seconds &&
-                       delta.head_seconds < options.min_seconds;
+    bool noise = base_seconds < options.min_seconds &&
+                 delta.head_seconds < options.min_seconds;
+    for (const std::string& tag : options.diagnostic_metrics) {
+      if (delta.metric.find(tag) != std::string::npos) {
+        noise = true;
+        break;
+      }
+    }
     if (!noise && delta.ratio > 1.0 + options.threshold) {
       report.regressions.push_back(std::move(delta));
     } else if (!noise && delta.ratio < 1.0 - options.threshold) {

@@ -45,6 +45,15 @@ struct BenchCompareOptions {
   /// (averaged over thousands of iterations by google-benchmark), so
   /// sub-millisecond values are meaningful there.
   double min_seconds = 1e-6;
+  /// Metrics whose name contains one of these substrings are always
+  /// classified as stable — present in the report, never a gate.  Mutex
+  /// wait/hold are scheduler-dependent diagnostics: on an oversubscribed
+  /// box, hold time includes preemption, and identical binaries swing by
+  /// ±20% between idle runs at any magnitude (adjacent thread counts in
+  /// one sweep routinely move in opposite directions).  A real lock
+  /// convoy still trips the gate through the wall/commit metrics it
+  /// inflates.
+  std::vector<std::string> diagnostic_metrics = {"shard_wait", "shard_hold"};
 };
 
 /// One joined (row, seconds-metric) pair with both measurements.

@@ -1,0 +1,233 @@
+#include "obs/task_stream.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace frontiers::obs {
+
+namespace {
+
+using taskhooks::BatchRecord;
+using taskhooks::ShardRecord;
+using taskhooks::TaskRecord;
+
+// One buffer per (thread, session), mirroring the trace layer: appended to
+// by the owner thread only, the mutex orders those appends against the
+// flush in Stop().
+struct RecordBuffer {
+  std::mutex mu;
+  std::vector<TaskRecord> tasks;
+  std::vector<BatchRecord> batches;
+  std::vector<ShardRecord> shards;
+  size_t dropped = 0;
+};
+
+struct SessionState {
+  std::mutex mu;
+  bool active = false;
+  std::string path;
+  TaskStreamOptions options;
+  std::vector<std::shared_ptr<RecordBuffer>> buffers;
+  std::atomic<uint64_t> epoch{0};
+};
+
+SessionState& State() {
+  static SessionState* state = new SessionState();  // leaked: program-lifetime
+  return *state;
+}
+
+thread_local std::shared_ptr<RecordBuffer> t_buffer;
+thread_local uint64_t t_buffer_epoch = 0;
+
+RecordBuffer* LocalBuffer() {
+  SessionState& state = State();
+  const uint64_t epoch = state.epoch.load(std::memory_order_acquire);
+  if (!t_buffer || t_buffer_epoch != epoch) {
+    auto fresh = std::make_shared<RecordBuffer>();
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (!state.active) return nullptr;  // raced a Stop(); drop the record
+      state.buffers.push_back(fresh);
+    }
+    t_buffer = std::move(fresh);
+    t_buffer_epoch = epoch;
+  }
+  return t_buffer.get();
+}
+
+template <typename Record>
+void Append(std::vector<Record> RecordBuffer::* field, const Record& record) {
+  RecordBuffer* buffer = LocalBuffer();
+  if (buffer == nullptr) return;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if ((buffer->*field).size() >= State().options.max_records_per_thread) {
+    ++buffer->dropped;
+    return;
+  }
+  (buffer->*field).push_back(record);
+}
+
+void OnTask(const TaskRecord& record) {
+  Append(&RecordBuffer::tasks, record);
+}
+void OnBatch(const BatchRecord& record) {
+  Append(&RecordBuffer::batches, record);
+}
+void OnShard(const ShardRecord& record) {
+  Append(&RecordBuffer::shards, record);
+}
+
+// Same contract as the trace layer's exit hook: the session co-owns every
+// buffer, so this only guarantees quiescence before WorkerPool joins the
+// exiting thread.
+void FlushThreadBufferOnExit() {
+  t_buffer.reset();
+  t_buffer_epoch = 0;
+}
+
+uint64_t Rebase(uint64_t ns, uint64_t base) { return ns < base ? 0 : ns - base; }
+
+}  // namespace
+
+Status TaskStreamSession::Start(std::string path, TaskStreamOptions options) {
+  SessionState& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.active) {
+      return Status::Error("task-stream session already active (writing to '" +
+                           state.path + "')");
+    }
+    state.active = true;
+    state.path = std::move(path);
+    state.options = options;
+    state.buffers.clear();
+    state.epoch.fetch_add(1, std::memory_order_release);
+  }
+  taskhooks::RegisterThreadExitHook(&FlushThreadBufferOnExit);
+  // Hooks first (release), then the mask bit: an emitter that saw the bit
+  // is guaranteed non-null targets.
+  taskhooks::SetTaskHooks(&OnTask, &OnBatch, &OnShard);
+  internal::g_span_mask.fetch_or(internal::kSpanTasks,
+                                 std::memory_order_release);
+  return Status::Ok();
+}
+
+Status TaskStreamSession::Stop() {
+  SessionState& state = State();
+  internal::g_span_mask.fetch_and(~internal::kSpanTasks,
+                                  std::memory_order_relaxed);
+  std::string path;
+  std::vector<std::shared_ptr<RecordBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.active) return Status::Error("no task-stream session active");
+    state.active = false;
+    path = std::move(state.path);
+    buffers = std::move(state.buffers);
+    state.buffers.clear();
+  }
+
+  std::vector<TaskRecord> tasks;
+  std::vector<BatchRecord> batches;
+  std::vector<ShardRecord> shards;
+  size_t dropped = 0;
+  for (const std::shared_ptr<RecordBuffer>& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    dropped += buffer->dropped;
+    tasks.insert(tasks.end(), buffer->tasks.begin(), buffer->tasks.end());
+    batches.insert(batches.end(), buffer->batches.begin(),
+                   buffer->batches.end());
+    shards.insert(shards.end(), buffer->shards.begin(), buffer->shards.end());
+  }
+  // Deterministic output order regardless of which worker recorded what.
+  std::sort(tasks.begin(), tasks.end(),
+            [](const TaskRecord& a, const TaskRecord& b) {
+              if (a.batch != b.batch) return a.batch < b.batch;
+              return a.task < b.task;
+            });
+  std::sort(batches.begin(), batches.end(),
+            [](const BatchRecord& a, const BatchRecord& b) {
+              return a.batch < b.batch;
+            });
+  std::sort(shards.begin(), shards.end(),
+            [](const ShardRecord& a, const ShardRecord& b) {
+              if (a.batch != b.batch) return a.batch < b.batch;
+              return a.shard < b.shard;
+            });
+
+  uint64_t base_ns = UINT64_MAX;
+  for (const TaskRecord& t : tasks) base_ns = std::min(base_ns, t.enqueue_ns);
+  for (const BatchRecord& b : batches) {
+    base_ns = std::min(base_ns, b.enqueue_ns);
+  }
+  if (base_ns == UINT64_MAX) base_ns = 0;
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Error("cannot open task-stream file '" + path +
+                         "' for writing");
+  }
+  // hw_threads records the *collection* machine's concurrency so a later
+  // analysis (tools/par_report, possibly on another machine) can clamp
+  // speedup predictions to what this hardware could actually deliver.
+  std::fprintf(file,
+               "{\"schema\":\"frontiers-tasks-v1\",\"kind\":\"meta\","
+               "\"base_ns\":%llu,\"hw_threads\":%u}\n",
+               static_cast<unsigned long long>(base_ns),
+               std::thread::hardware_concurrency());
+  for (const TaskRecord& t : tasks) {
+    std::fprintf(
+        file,
+        "{\"kind\":\"task\",\"batch\":%llu,\"task\":%llu,\"worker\":%u,"
+        "\"queue_depth\":%u,\"enqueue_ns\":%llu,\"start_ns\":%llu,"
+        "\"finish_ns\":%llu}\n",
+        static_cast<unsigned long long>(t.batch),
+        static_cast<unsigned long long>(t.task), t.worker, t.queue_depth,
+        static_cast<unsigned long long>(Rebase(t.enqueue_ns, base_ns)),
+        static_cast<unsigned long long>(Rebase(t.start_ns, base_ns)),
+        static_cast<unsigned long long>(Rebase(t.finish_ns, base_ns)));
+  }
+  for (const BatchRecord& b : batches) {
+    std::fprintf(
+        file,
+        "{\"kind\":\"batch\",\"batch\":%llu,\"count\":%llu,\"threads\":%u,"
+        "\"enqueue_ns\":%llu,\"done_ns\":%llu}\n",
+        static_cast<unsigned long long>(b.batch),
+        static_cast<unsigned long long>(b.count), b.threads,
+        static_cast<unsigned long long>(Rebase(b.enqueue_ns, base_ns)),
+        static_cast<unsigned long long>(Rebase(b.done_ns, base_ns)));
+  }
+  for (const ShardRecord& s : shards) {
+    std::fprintf(
+        file,
+        "{\"kind\":\"shard\",\"batch\":%llu,\"shard\":%u,\"rows\":%llu,"
+        "\"wait_ns\":%llu,\"hold_ns\":%llu}\n",
+        static_cast<unsigned long long>(s.batch), s.shard,
+        static_cast<unsigned long long>(s.rows),
+        static_cast<unsigned long long>(s.wait_ns),
+        static_cast<unsigned long long>(s.hold_ns));
+  }
+  const bool write_ok = std::ferror(file) == 0;
+  if (std::fclose(file) != 0 || !write_ok) {
+    return Status::Error("error writing task-stream file '" + path + "'");
+  }
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "[obs] task stream '%s': %zu record(s) dropped by the "
+                 "per-thread buffer cap\n",
+                 path.c_str(), dropped);
+  }
+  return Status::Ok();
+}
+
+bool TaskStreamSession::Active() {
+  SessionState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.active;
+}
+
+}  // namespace frontiers::obs

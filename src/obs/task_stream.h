@@ -1,0 +1,63 @@
+#ifndef FRONTIERS_OBS_TASK_STREAM_H_
+#define FRONTIERS_OBS_TASK_STREAM_H_
+
+#include <cstddef>
+#include <string>
+
+#include "base/obs_hooks.h"
+#include "base/status.h"
+
+namespace frontiers::obs {
+
+/// Knobs for a task-stream session.
+struct TaskStreamOptions {
+  /// Hard cap per thread buffer per record kind; records beyond it are
+  /// counted as dropped (reported on Stop) instead of growing unbounded.
+  size_t max_records_per_thread = 1u << 20;
+};
+
+/// A process-global session recording WorkerPool task/batch telemetry and
+/// FactSet shard-contention records (the taskhooks in base/obs_hooks.h)
+/// and writing them as a `frontiers-tasks-v1` JSONL file on Stop().  At
+/// most one session is active at a time.
+///
+/// File format: one JSON object per line.  The first line is a meta row
+///   {"schema":"frontiers-tasks-v1","kind":"meta","base_ns":<u64>,
+///    "hw_threads":<u32>}
+/// carrying the absolute steady-clock origin the row timestamps are
+/// rebased against; `baseTimeNanos` in a trace JSON from the same run uses
+/// the same clock, which is how tools/par_report aligns the two streams.
+/// Then, sorted for deterministic output:
+///   {"kind":"task","batch":B,"task":I,"worker":W,"queue_depth":Q,
+///    "enqueue_ns":..,"start_ns":..,"finish_ns":..}   sorted by (batch, I)
+///   {"kind":"batch","batch":B,"count":N,"threads":P,
+///    "enqueue_ns":..,"done_ns":..}                   sorted by batch
+///   {"kind":"shard","batch":B,"shard":S,"rows":R,
+///    "wait_ns":..,"hold_ns":..}                      sorted by (batch, S)
+/// Shard wait/hold are durations (never rebased); every `batch` value —
+/// pool batches and FactSet inserts alike — is a process-unique id from
+/// obs::taskhooks::NextBatchId(), so rows stay unique across all runs of
+/// one process.
+///
+/// Like tracing, the stream is pure observation: per-thread buffers are
+/// appended to by their owner only, a record racing Stop() is dropped, and
+/// tests/obs_test.cc asserts byte-identical chase results with a session
+/// active at every thread count.
+class TaskStreamSession {
+ public:
+  /// Starts the global session; records buffer until Stop() writes `path`.
+  /// Fails if a session is already active.
+  static Status Start(std::string path, TaskStreamOptions options = {});
+
+  /// Stops the active session and writes the JSONL file.  Call at a
+  /// quiescent point (the chase joins its pool every phase).  Returns an
+  /// error if no session is active or the file cannot be written.
+  static Status Stop();
+
+  /// True while a session is active.
+  static bool Active();
+};
+
+}  // namespace frontiers::obs
+
+#endif  // FRONTIERS_OBS_TASK_STREAM_H_

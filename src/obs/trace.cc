@@ -9,16 +9,8 @@
 
 namespace frontiers::obs {
 
-namespace internal {
-std::atomic<uint32_t> g_span_mask{0};
-
-uint64_t NowNanos() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-}  // namespace internal
+// g_span_mask and NowNanos are defined in base/obs_hooks.cc (shared with
+// the base-layer task telemetry emitters).
 
 namespace {
 
@@ -58,14 +50,15 @@ SessionState& State() {
   return *state;
 }
 
+thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+thread_local uint64_t t_buffer_epoch = 0;
+
 // The calling thread's buffer for the current session, registering a fresh
 // one when the thread has none (or only one from a dead session).
 ThreadBuffer* LocalBuffer() {
-  thread_local std::shared_ptr<ThreadBuffer> buffer;
-  thread_local uint64_t buffer_epoch = 0;
   SessionState& state = State();
   const uint64_t epoch = state.epoch.load(std::memory_order_acquire);
-  if (!buffer || buffer_epoch != epoch) {
+  if (!t_buffer || t_buffer_epoch != epoch) {
     auto fresh = std::make_shared<ThreadBuffer>();
     {
       std::lock_guard<std::mutex> lock(state.mu);
@@ -73,10 +66,21 @@ ThreadBuffer* LocalBuffer() {
       fresh->tid = state.next_tid++;
       state.buffers.push_back(fresh);
     }
-    buffer = std::move(fresh);
-    buffer_epoch = epoch;
+    t_buffer = std::move(fresh);
+    t_buffer_epoch = epoch;
   }
-  return buffer.get();
+  return t_buffer.get();
+}
+
+// Runs on every WorkerPool thread right before it exits (registered below).
+// The session's buffer list co-owns every registered buffer, so no event is
+// ever lost with its thread — but dropping the thread-local reference here
+// guarantees the buffer is quiescent before the pool joins the thread,
+// which is the ordering par_report/validate_telemetry rely on for complete
+// per-thread streams.
+void FlushThreadBufferOnExit() {
+  t_buffer.reset();
+  t_buffer_epoch = 0;
 }
 
 void Append(Event event) {
@@ -126,6 +130,7 @@ Status TraceSession::Start(std::string path, TraceOptions options) {
   state.min_duration_ns.store(options.min_duration_us * 1000,
                               std::memory_order_relaxed);
   state.epoch.fetch_add(1, std::memory_order_release);
+  taskhooks::RegisterThreadExitHook(&FlushThreadBufferOnExit);
   internal::g_span_mask.fetch_or(internal::kSpanTrace,
                                  std::memory_order_relaxed);
   return Status::Ok();
@@ -175,7 +180,14 @@ Status TraceSession::Stop() {
   for (const FlatEvent& flat : all) {
     base_ns = std::min(base_ns, flat.event.start_ns);
   }
-  std::fprintf(file, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  // `baseTimeNanos` records the un-rebased origin on the process steady
+  // clock — Chrome/Perfetto ignore unknown top-level keys, and
+  // tools/par_report uses it to join this trace with the task stream's
+  // absolute timestamps.
+  std::fprintf(file,
+               "{\"displayTimeUnit\":\"ms\",\"baseTimeNanos\":%llu,"
+               "\"traceEvents\":[\n",
+               static_cast<unsigned long long>(base_ns));
   std::fprintf(file,
                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
                "\"args\":{\"name\":\"frontiers\"}}");

@@ -5,24 +5,16 @@
 #include <cstdint>
 #include <string>
 
+#include "base/obs_hooks.h"
 #include "base/status.h"
 
 namespace frontiers::obs {
 
+// The span-mask word (g_span_mask, kSpan* bits) and NowNanos live in
+// base/obs_hooks.h so base-layer emitters (WorkerPool, FactSet) share the
+// same one-relaxed-load disabled cost without linking this library.
+
 namespace internal {
-/// Which span consumers are currently live, as a bitmask.  A disabled Span
-/// costs exactly one relaxed load of this plus a branch — the overhead
-/// budget the chase's parity guarantees are measured against (DESIGN.md
-/// §7).  Sharing one word between the trace layer and the profiler keeps
-/// that guarantee as consumers are added: the disabled path never pays a
-/// second load.
-inline constexpr uint32_t kSpanTrace = 1u << 0;    ///< TraceSession active.
-inline constexpr uint32_t kSpanProfile = 1u << 1;  ///< ProfileSession active.
-extern std::atomic<uint32_t> g_span_mask;
-
-/// Monotonic nanoseconds (steady clock).  Only meaningful as differences.
-uint64_t NowNanos();
-
 /// Appends a complete ('X') event to the calling thread's buffer.  `name`
 /// and `category` must be string literals (or otherwise outlive the
 /// session): events store the pointers, not copies.

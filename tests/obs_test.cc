@@ -4,16 +4,20 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <new>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "base/vocabulary.h"
+#include "base/worker_pool.h"
 #include "catalog/instances.h"
 #include "catalog/strategies.h"
 #include "catalog/theories.h"
@@ -22,7 +26,38 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/task_stream.h"
 #include "obs/trace.h"
+
+// Binary-wide allocation counter for the disabled-cost test below: the
+// replacement operator new counts while the flag is up.  Everything else
+// behaves exactly like the default allocator, so the override is inert for
+// the rest of the suite.
+namespace {
+std::atomic<bool> g_count_allocations{false};
+std::atomic<size_t> g_allocation_count{0};
+}  // namespace
+
+// GCC flags free() inside a replaced operator delete as a new/delete
+// mismatch; the pairing is correct (the replaced operator new above is
+// malloc-based too).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t size) {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace frontiers {
 namespace {
@@ -973,6 +1008,196 @@ TEST(Parity, ChaseStatsSummaryMentionsEveryPhase) {
   }
   // TotalSeconds() runs the debug phase-accounting check.
   EXPECT_GE(result.stats.TotalSeconds(), 0.0);
+}
+
+// --- Task stream (PR 9: parallelism observability) -------------------------
+
+// The full instrumentation stack live at once — task-stream session (which
+// also turns on the fact store's shard contention records) — must leave the
+// chase byte-identical at every thread count.  serial_round_threshold is
+// zeroed so wide-enough rounds actually dispatch to the pool, and the
+// emitted stream must be a well-formed frontiers-tasks-v1 file.
+TEST(TaskStream, InstrumentedChaseIsByteIdenticalToBare) {
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    auto run = [threads](bool streamed) {
+      Vocabulary vocab;
+      Theory td = TdTheory(vocab);
+      FactSet db = EdgePath(vocab, "G", 12, "a");
+      ChaseOptions options;
+      options.max_rounds = 24;
+      options.max_atoms = 500'000;
+      options.threads = threads;
+      options.serial_round_threshold = 0;
+      options.filter = TdWitnessStrategy(vocab, td);
+      ChaseEngine engine(vocab, td);
+      const std::string path = testing::TempDir() + "obs_tasks_" +
+                               std::to_string(threads) + ".jsonl";
+      if (streamed) {
+        EXPECT_TRUE(obs::TaskStreamSession::Start(path).ok());
+        EXPECT_TRUE(obs::TaskStreamSession::Active());
+      }
+      ChaseResult result = engine.Run(db, options);
+      if (streamed) {
+        EXPECT_TRUE(obs::TaskStreamSession::Stop().ok());
+        EXPECT_FALSE(obs::taskhooks::TasksEnabled());
+        std::ifstream in(path);
+        std::string line;
+        size_t line_no = 0, task_rows = 0, batch_rows = 0;
+        while (std::getline(in, line)) {
+          ++line_no;
+          Result<obs::JsonValue> row = obs::ParseJson(line);
+          EXPECT_TRUE(row.ok()) << path << ":" << line_no;
+          if (!row.ok()) break;
+          const obs::JsonValue* kind = row.value().Find("kind");
+          EXPECT_NE(kind, nullptr);
+          if (kind == nullptr) break;
+          if (line_no == 1) {
+            EXPECT_EQ(kind->string, "meta");
+            EXPECT_EQ(row.value().Find("schema")->string,
+                      "frontiers-tasks-v1");
+          } else if (kind->string == "task") {
+            ++task_rows;
+            const double enqueue = row.value().Find("enqueue_ns")->number;
+            const double start = row.value().Find("start_ns")->number;
+            const double finish = row.value().Find("finish_ns")->number;
+            EXPECT_GE(start, enqueue) << path << ":" << line_no;
+            EXPECT_GE(finish, start) << path << ":" << line_no;
+          } else if (kind->string == "batch") {
+            ++batch_rows;
+            EXPECT_GE(row.value().Find("threads")->number, 1.0);
+          }
+        }
+        EXPECT_GE(line_no, 1u) << "stream has at least the meta row";
+        if (threads > 1) {
+          // Every pool dispatch must have been recorded.
+          EXPECT_GT(task_rows, 0u) << "threads=" << threads;
+          EXPECT_GT(batch_rows, 0u) << "threads=" << threads;
+        }
+        std::remove(path.c_str());
+      }
+      return result;
+    };
+    ChaseResult bare = run(false);
+    ChaseResult streamed = run(true);
+    ASSERT_FALSE(bare.facts.atoms().empty());
+    EXPECT_EQ(streamed.facts.atoms(), bare.facts.atoms())
+        << "threads=" << threads;
+    EXPECT_EQ(streamed.depth, bare.depth) << "threads=" << threads;
+    EXPECT_EQ(streamed.complete_rounds, bare.complete_rounds);
+    EXPECT_EQ(streamed.stop, bare.stop);
+  }
+}
+
+namespace taskhook_counters {
+std::atomic<size_t> calls{0};
+void OnTask(const obs::taskhooks::TaskRecord&) {
+  calls.fetch_add(1, std::memory_order_relaxed);
+}
+void OnBatch(const obs::taskhooks::BatchRecord&) {
+  calls.fetch_add(1, std::memory_order_relaxed);
+}
+void OnShard(const obs::taskhooks::ShardRecord&) {
+  calls.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace taskhook_counters
+
+// The disabled cost of task telemetry: with no session active the pool's
+// dispatch path performs no allocations and never reaches the hook
+// functions — the whole feature collapses to the relaxed span-mask load.
+TEST(TaskStream, DisabledTelemetryAllocatesNothingAndCallsNoHooks) {
+  ASSERT_FALSE(obs::TaskStreamSession::Active());
+  ASSERT_FALSE(obs::taskhooks::TasksEnabled());
+  // Install counting hooks WITHOUT setting the span-mask bit: if any
+  // dispatch-path branch forgets the TasksEnabled() gate, the counters
+  // catch it.
+  taskhook_counters::calls.store(0);
+  obs::taskhooks::SetTaskHooks(&taskhook_counters::OnTask,
+                               &taskhook_counters::OnBatch,
+                               &taskhook_counters::OnShard);
+  {
+    WorkerPool pool(4);
+    std::atomic<uint64_t> sum{0};
+    const std::function<void(size_t)> fn = [&sum](size_t i) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    };
+    pool.Run(64, fn);  // warm-up: first-dispatch lazy init outside the count
+    g_allocation_count.store(0);
+    g_count_allocations.store(true);
+    pool.Run(64, fn);
+    g_count_allocations.store(false);
+    EXPECT_EQ(sum.load(), 2 * (64 * 65) / 2);
+  }
+  EXPECT_EQ(g_allocation_count.load(), 0u)
+      << "disabled task telemetry must not allocate on the dispatch path";
+  EXPECT_EQ(taskhook_counters::calls.load(), 0u)
+      << "hooks must be unreachable while the span-mask bit is down";
+  obs::taskhooks::SetTaskHooks(nullptr, nullptr, nullptr);
+}
+
+// The shard contention metrics against a serial oracle: at 8 threads with
+// the pool engaged, every semi-oblivious round observes the shard wait and
+// hold histograms exactly once, and the histogram sums agree with the
+// per-run ChaseStats aggregation.  The satellite rounds_parallel /
+// rounds_serial counters must partition the round count.
+TEST(TaskStream, ShardContentionMetricsMatchSerialOracle) {
+  auto counter = [](const obs::MetricsSnapshot& snapshot, const char* name) {
+    auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? uint64_t{0} : it->second;
+  };
+  auto histogram = [](const obs::MetricsSnapshot& snapshot, const char* name)
+      -> std::pair<uint64_t, double> {
+    auto it = snapshot.histograms.find(name);
+    if (it == snapshot.histograms.end()) return {0, 0.0};
+    return {it->second.total_count, it->second.sum};
+  };
+  for (uint32_t threads : {1u, 8u}) {
+    obs::MetricsSnapshot before = obs::DefaultRegistry().Snapshot();
+    Vocabulary vocab;
+    Theory td = TdTheory(vocab);
+    FactSet db = EdgePath(vocab, "G", 12, "a");
+    ChaseOptions options;
+    options.max_rounds = 24;
+    options.max_atoms = 500'000;
+    options.threads = threads;
+    options.serial_round_threshold = 0;  // pool engages on every wide round
+    options.filter = TdWitnessStrategy(vocab, td);
+    ChaseEngine engine(vocab, td);
+    ChaseResult result = engine.Run(db, options);
+    obs::MetricsSnapshot after = obs::DefaultRegistry().Snapshot();
+    const uint64_t rounds = result.stats.rounds.size();
+    ASSERT_GT(rounds, 0u);
+    // rounds_parallel + rounds_serial partition the rounds; with the
+    // serial fallback disabled the split is decided by `threads` alone.
+    const uint64_t par = counter(after, "frontiers.chase.rounds_parallel") -
+                         counter(before, "frontiers.chase.rounds_parallel");
+    const uint64_t ser = counter(after, "frontiers.chase.rounds_serial") -
+                         counter(before, "frontiers.chase.rounds_serial");
+    EXPECT_EQ(par + ser, rounds) << "threads=" << threads;
+    EXPECT_EQ(par, threads > 1 ? rounds : 0) << "threads=" << threads;
+    // The wait/hold histograms observe once per semi-oblivious batch
+    // commit (= once per round here), and their sums agree with the
+    // ChaseStats per-run view modulo float accumulation order.
+    auto [wait_count, wait_sum] =
+        histogram(after, "frontiers.chase.shard_wait_seconds");
+    auto [wait_count0, wait_sum0] =
+        histogram(before, "frontiers.chase.shard_wait_seconds");
+    auto [hold_count, hold_sum] =
+        histogram(after, "frontiers.chase.shard_hold_seconds");
+    auto [hold_count0, hold_sum0] =
+        histogram(before, "frontiers.chase.shard_hold_seconds");
+    EXPECT_EQ(wait_count - wait_count0, rounds) << "threads=" << threads;
+    EXPECT_EQ(hold_count - hold_count0, rounds) << "threads=" << threads;
+    EXPECT_NEAR(wait_sum - wait_sum0, result.stats.ShardWaitSeconds(), 1e-9);
+    EXPECT_NEAR(hold_sum - hold_sum0, result.stats.ShardHoldSeconds(), 1e-9);
+    EXPECT_GE(result.stats.ShardWaitSeconds(), 0.0);
+    // The Brent-bound accounting is populated and sane: span <= work,
+    // speedup >= 1.
+    EXPECT_GT(result.stats.WorkSeconds(), 0.0);
+    EXPECT_GT(result.stats.CriticalPathSeconds(), 0.0);
+    EXPECT_LE(result.stats.CriticalPathSeconds(),
+              result.stats.WorkSeconds() + 1e-9);
+    EXPECT_GE(result.stats.AchievableSpeedup(), 1.0);
+  }
 }
 
 }  // namespace

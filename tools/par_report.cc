@@ -1,0 +1,507 @@
+// Critical-path / contention analyzer for the parallel chase (DESIGN.md
+// §7, "Parallelism observability").  Joins a Chrome trace (--trace=, with
+// the top-level `baseTimeNanos` key) with a frontiers-tasks-v1 worker-pool
+// stream (--tasks=) — both timestamped on the process steady clock — and
+// answers "where did the lost speedup go":
+//
+//   * ranked serial sections: chase phases whose time is covered by no
+//     worker task (the Amdahl serial fraction, attributed by span name);
+//   * top contended shards by mutex wait, from the fact store's per-shard
+//     commit records;
+//   * a per-worker utilization timeline over the analyzed run;
+//   * the Amdahl speedup the measured serial fraction permits, optionally
+//     compared against the observed sweep (--bench <exp_parallel_scaling
+//     JSONL> or --observed <x>).
+//
+//   par_report --trace <trace.json> --tasks <tasks.jsonl>
+//              [--bench <bench.jsonl>] [--observed <speedup>]
+//              [--run <span name>] [--check]
+//
+// The analyzed window defaults to the *last* `chase.run` span in the trace
+// (the highest-thread-count sweep point of exp_parallel_scaling).  --check
+// makes structural problems fatal (no run span, no task records, or a
+// nonsensical serial fraction) for CI; the observed-vs-predicted delta is
+// reported but never fails the check — CI machines do not promise the
+// hardware parallelism the sweep asks for.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace frontiers {
+namespace {
+
+struct Interval {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+struct Span {
+  std::string name;
+  Interval abs;  // absolute steady-clock nanoseconds
+};
+
+struct TaskRec {
+  uint32_t worker = 0;
+  Interval abs;
+};
+
+struct ShardAccum {
+  uint64_t wait_ns = 0;
+  uint64_t hold_ns = 0;
+  uint64_t rows = 0;
+};
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// Sorts and merges `intervals` in place into a disjoint ascending union.
+void MergeIntervals(std::vector<Interval>* intervals) {
+  std::sort(intervals->begin(), intervals->end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<Interval> merged;
+  for (const Interval& iv : *intervals) {
+    if (iv.end <= iv.begin) continue;
+    if (!merged.empty() && iv.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  *intervals = std::move(merged);
+}
+
+uint64_t TotalLength(const std::vector<Interval>& merged) {
+  uint64_t total = 0;
+  for (const Interval& iv : merged) total += iv.end - iv.begin;
+  return total;
+}
+
+// Length of `iv` ∩ (union of `merged`); `merged` must be disjoint and
+// sorted (MergeIntervals output).
+uint64_t OverlapWithUnion(const Interval& iv,
+                          const std::vector<Interval>& merged) {
+  uint64_t overlap = 0;
+  for (const Interval& m : merged) {
+    if (m.begin >= iv.end) break;
+    if (m.end <= iv.begin) continue;
+    overlap += std::min(m.end, iv.end) - std::max(m.begin, iv.begin);
+  }
+  return overlap;
+}
+
+Interval Clip(const Interval& iv, const Interval& window) {
+  Interval out;
+  out.begin = std::max(iv.begin, window.begin);
+  out.end = std::min(iv.end, window.end);
+  if (out.end < out.begin) out.end = out.begin;
+  return out;
+}
+
+double Sec(uint64_t ns) { return static_cast<double>(ns) * 1e-9; }
+
+// ---- Input parsing --------------------------------------------------------
+
+bool LoadTrace(const std::string& path, std::vector<Span>* spans,
+               std::string* error) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  Result<obs::JsonValue> parsed = obs::ParseJson(text);
+  if (!parsed.ok()) {
+    *error = path + ": " + parsed.message();
+    return false;
+  }
+  const obs::JsonValue& root = parsed.value();
+  const obs::JsonValue* base = root.Find("baseTimeNanos");
+  const obs::JsonValue* events =
+      root.IsObject() ? root.Find("traceEvents") : nullptr;
+  if (base == nullptr || !base->IsNumber() || events == nullptr ||
+      !events->IsArray()) {
+    *error = path + ": missing baseTimeNanos/traceEvents (old trace format?)";
+    return false;
+  }
+  const uint64_t base_ns = static_cast<uint64_t>(base->number);
+  for (const obs::JsonValue& event : events->array) {
+    if (!event.IsObject()) continue;
+    const obs::JsonValue* ph = event.Find("ph");
+    const obs::JsonValue* name = event.Find("name");
+    const obs::JsonValue* ts = event.Find("ts");
+    const obs::JsonValue* dur = event.Find("dur");
+    if (ph == nullptr || !ph->IsString() || ph->string != "X") continue;
+    if (name == nullptr || !name->IsString() || ts == nullptr ||
+        !ts->IsNumber() || dur == nullptr || !dur->IsNumber()) {
+      continue;
+    }
+    Span span;
+    span.name = name->string;
+    span.abs.begin = base_ns + static_cast<uint64_t>(ts->number * 1000.0);
+    span.abs.end = span.abs.begin + static_cast<uint64_t>(dur->number * 1000.0);
+    spans->push_back(std::move(span));
+  }
+  return true;
+}
+
+bool LoadTasks(const std::string& path, std::vector<TaskRec>* tasks,
+               uint32_t* max_threads, uint32_t* hw_threads,
+               std::map<uint32_t, ShardAccum>* shards, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  std::string line;
+  uint64_t base_ns = 0;
+  bool saw_meta = false;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Result<obs::JsonValue> parsed = obs::ParseJson(line);
+    if (!parsed.ok()) {
+      *error = path + ":" + std::to_string(line_no) + ": " + parsed.message();
+      return false;
+    }
+    const obs::JsonValue& row = parsed.value();
+    const obs::JsonValue* kind = row.IsObject() ? row.Find("kind") : nullptr;
+    if (kind == nullptr || !kind->IsString()) {
+      *error = path + ":" + std::to_string(line_no) + ": missing kind";
+      return false;
+    }
+    auto num = [&](const char* key) -> double {
+      const obs::JsonValue* v = row.Find(key);
+      return v != nullptr && v->IsNumber() ? v->number : 0.0;
+    };
+    if (kind->string == "meta") {
+      base_ns = static_cast<uint64_t>(num("base_ns"));
+      *hw_threads = static_cast<uint32_t>(num("hw_threads"));
+      saw_meta = true;
+    } else if (kind->string == "task") {
+      TaskRec t;
+      t.worker = static_cast<uint32_t>(num("worker"));
+      t.abs.begin = base_ns + static_cast<uint64_t>(num("start_ns"));
+      t.abs.end = base_ns + static_cast<uint64_t>(num("finish_ns"));
+      tasks->push_back(t);
+    } else if (kind->string == "batch") {
+      *max_threads = std::max(
+          *max_threads, static_cast<uint32_t>(num("threads")));
+    } else if (kind->string == "shard") {
+      ShardAccum& acc = (*shards)[static_cast<uint32_t>(num("shard"))];
+      acc.wait_ns += static_cast<uint64_t>(num("wait_ns"));
+      acc.hold_ns += static_cast<uint64_t>(num("hold_ns"));
+      acc.rows += static_cast<uint64_t>(num("rows"));
+    }
+  }
+  if (!saw_meta) {
+    *error = path + ": missing meta row";
+    return false;
+  }
+  return true;
+}
+
+// Observed speedup from an exp_parallel_scaling JSONL file: within the
+// last section that has a typed row for threads=1, speedup at the highest
+// thread count = wall(1) / wall(max).  Returns <= 0 when unavailable.
+double ObservedSpeedupFromBench(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return 0.0;
+  std::string line;
+  // section -> threads -> wall; insertion order preserved via a parallel
+  // list so "last section wins".
+  std::map<std::string, std::map<uint64_t, double>> sections;
+  std::vector<std::string> order;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Result<obs::JsonValue> parsed = obs::ParseJson(line);
+    if (!parsed.ok()) continue;
+    const obs::JsonValue& row = parsed.value();
+    if (!row.IsObject()) continue;
+    const obs::JsonValue* section = row.Find("section");
+    const obs::JsonValue* params = row.Find("params");
+    const obs::JsonValue* seconds = row.Find("seconds");
+    if (section == nullptr || !section->IsString() || params == nullptr ||
+        seconds == nullptr) {
+      continue;
+    }
+    const obs::JsonValue* threads = params->Find("threads");
+    const obs::JsonValue* wall = seconds->Find("wall");
+    // Only the typed twin rows carry numeric threads + seconds.wall; the
+    // table-emitted string rows are skipped here.
+    if (threads == nullptr || !threads->IsNumber() || wall == nullptr ||
+        !wall->IsNumber()) {
+      continue;
+    }
+    if (sections.find(section->string) == sections.end()) {
+      order.push_back(section->string);
+    }
+    sections[section->string][static_cast<uint64_t>(threads->number)] =
+        wall->number;
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::map<uint64_t, double>& sweep = sections[*it];
+    if (sweep.size() < 2 || sweep.count(1) == 0) continue;
+    const double base = sweep.at(1);
+    const double top = sweep.rbegin()->second;
+    if (base > 0 && top > 0) return base / top;
+  }
+  return 0.0;
+}
+
+// ---- Report ---------------------------------------------------------------
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: par_report --trace <trace.json> --tasks <tasks.jsonl>\n"
+               "                  [--bench <bench.jsonl>] [--observed <x>]\n"
+               "                  [--run <span name>] [--check]\n");
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  const char* trace_path = nullptr;
+  const char* tasks_path = nullptr;
+  const char* bench_path = nullptr;
+  const char* run_name = "chase.run";
+  double observed = 0.0;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = value();
+    } else if (std::strcmp(argv[i], "--tasks") == 0) {
+      tasks_path = value();
+    } else if (std::strcmp(argv[i], "--bench") == 0) {
+      bench_path = value();
+    } else if (std::strcmp(argv[i], "--observed") == 0) {
+      const char* v = value();
+      observed = v != nullptr ? std::atof(v) : 0.0;
+    } else if (std::strcmp(argv[i], "--run") == 0) {
+      run_name = value();
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (trace_path == nullptr || tasks_path == nullptr || run_name == nullptr) {
+    return Usage();
+  }
+
+  std::string error;
+  std::vector<Span> spans;
+  if (!LoadTrace(trace_path, &spans, &error)) {
+    std::fprintf(stderr, "par_report: %s\n", error.c_str());
+    return 1;
+  }
+  std::vector<TaskRec> tasks;
+  uint32_t max_threads = 0;
+  uint32_t hw_threads = 0;
+  std::map<uint32_t, ShardAccum> shards;
+  if (!LoadTasks(tasks_path, &tasks, &max_threads, &hw_threads, &shards,
+                 &error)) {
+    std::fprintf(stderr, "par_report: %s\n", error.c_str());
+    return 1;
+  }
+
+  // The analyzed window: the last occurrence of the run span.
+  const Span* run = nullptr;
+  size_t run_count = 0;
+  for (const Span& span : spans) {
+    if (span.name == run_name) {
+      run = &span;
+      ++run_count;
+    }
+  }
+  if (run == nullptr) {
+    std::fprintf(stderr, "par_report: no '%s' span in %s\n", run_name,
+                 trace_path);
+    return 1;
+  }
+  const Interval window = run->abs;
+  const uint64_t wall_ns = window.end - window.begin;
+  if (wall_ns == 0) {
+    std::fprintf(stderr, "par_report: '%s' span has zero duration\n",
+                 run_name);
+    return 1;
+  }
+
+  // Union of worker-task busy time inside the window; everything else the
+  // run spent is serial by definition.
+  std::vector<Interval> busy;
+  std::map<uint32_t, std::vector<Interval>> per_worker;
+  for (const TaskRec& t : tasks) {
+    const Interval clipped = Clip(t.abs, window);
+    if (clipped.end == clipped.begin) continue;
+    busy.push_back(clipped);
+    per_worker[t.worker].push_back(clipped);
+  }
+  const size_t tasks_in_window = busy.size();
+  MergeIntervals(&busy);
+  const uint64_t parallel_ns = TotalLength(busy);
+  const uint64_t serial_ns = wall_ns > parallel_ns ? wall_ns - parallel_ns : 0;
+  const double serial_fraction = Sec(serial_ns) / Sec(wall_ns);
+
+  std::printf("== par_report: span '%s' (occurrence %zu of %zu) ==\n",
+              run_name, run_count, run_count);
+  std::printf("wall %.3f s, %zu worker tasks in window, %u pool threads\n\n",
+              Sec(wall_ns), tasks_in_window, max_threads);
+
+  // Serial sections: per span name, time inside the window covered by no
+  // worker task.  The run span itself is skipped (it IS the window) and
+  // worker-side unit spans are skipped (they are the busy union).
+  std::map<std::string, uint64_t> serial_by_name;
+  for (const Span& span : spans) {
+    if (span.name == run_name || span.name == "chase.unit") continue;
+    const Interval clipped = Clip(span.abs, window);
+    if (clipped.end == clipped.begin) continue;
+    const uint64_t covered = OverlapWithUnion(clipped, busy);
+    const uint64_t length = clipped.end - clipped.begin;
+    if (length > covered) serial_by_name[span.name] += length - covered;
+  }
+  std::vector<std::pair<std::string, uint64_t>> ranked(serial_by_name.begin(),
+                                                       serial_by_name.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::printf("Serial sections (span time covered by no worker task):\n");
+  if (ranked.empty()) std::printf("  (none: every span overlaps a task)\n");
+  for (size_t i = 0; i < ranked.size() && i < 8; ++i) {
+    std::printf("  %zu. %-24s %8.3f s  (%5.1f%% of wall)\n", i + 1,
+                ranked[i].first.c_str(), Sec(ranked[i].second),
+                100.0 * Sec(ranked[i].second) / Sec(wall_ns));
+  }
+  // Nested spans (chase.round contains chase.match etc.) overlap, so the
+  // per-name rows do not sum to this total; the total is the flat union.
+  std::printf("  total serial: %.3f s (%.1f%% of wall)\n\n", Sec(serial_ns),
+              100.0 * serial_fraction);
+
+  std::printf("Top contended shards (mutex wait summed over all commits):\n");
+  std::vector<std::pair<uint32_t, ShardAccum>> by_wait(shards.begin(),
+                                                       shards.end());
+  std::sort(by_wait.begin(), by_wait.end(), [](const auto& a, const auto& b) {
+    return a.second.wait_ns > b.second.wait_ns;
+  });
+  if (by_wait.empty()) std::printf("  (no shard records in the stream)\n");
+  for (size_t i = 0; i < by_wait.size() && i < 5; ++i) {
+    std::printf(
+        "  shard %3u: wait %8.3f ms, hold %8.3f ms, %llu rows\n",
+        by_wait[i].first, Sec(by_wait[i].second.wait_ns) * 1e3,
+        Sec(by_wait[i].second.hold_ns) * 1e3,
+        static_cast<unsigned long long>(by_wait[i].second.rows));
+  }
+  std::printf("\n");
+
+  // Utilization timeline: busy fraction per worker per bucket.
+  constexpr size_t kBuckets = 40;
+  std::printf("Worker utilization over the window (%zu buckets, ' .:-=#'):\n",
+              kBuckets);
+  const uint64_t bucket_ns = std::max<uint64_t>(1, wall_ns / kBuckets);
+  for (auto& [worker, intervals] : per_worker) {
+    MergeIntervals(&intervals);
+    std::string bar;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      Interval bucket;
+      bucket.begin = window.begin + b * bucket_ns;
+      bucket.end = std::min(window.end, bucket.begin + bucket_ns);
+      if (bucket.end <= bucket.begin) break;
+      const double f = Sec(OverlapWithUnion(bucket, intervals)) /
+                       Sec(bucket.end - bucket.begin);
+      bar += " .:-=#"[std::min<size_t>(5, static_cast<size_t>(f * 5.999))];
+    }
+    std::printf("  worker %2u [%s] %5.1f%%\n", worker, bar.c_str(),
+                100.0 * Sec(TotalLength(intervals)) / Sec(wall_ns));
+  }
+  if (per_worker.empty()) std::printf("  (no tasks in the window)\n");
+  std::printf("\n");
+
+  // Amdahl: with serial fraction s, p workers give at most 1/(s+(1-s)/p).
+  auto amdahl = [&](double p) {
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / p);
+  };
+  // Predict at the number of workers that could actually run at once: the
+  // pool size, clamped to the collection machine's hardware threads (from
+  // the tasks meta row).  An 8-thread pool on a 2-core box can never beat
+  // amdahl(2), and predicting amdahl(8) there would just measure the
+  // container, not the program.
+  uint32_t p = max_threads > 0 ? max_threads : 8;
+  if (hw_threads > 0 && hw_threads < p) p = hw_threads;
+  std::printf("Amdahl bound from the serial fraction (s = %.3f):\n",
+              serial_fraction);
+  char p_inf[32];
+  if (serial_fraction > 0) {
+    std::snprintf(p_inf, sizeof(p_inf), "%.2fx", 1.0 / serial_fraction);
+  } else {
+    std::snprintf(p_inf, sizeof(p_inf), "unbounded");
+  }
+  std::printf("  p=2: %.2fx   p=4: %.2fx   p=8: %.2fx   p=inf: %s\n",
+              amdahl(2), amdahl(4), amdahl(8), p_inf);
+  const double predicted = amdahl(static_cast<double>(p));
+  if (hw_threads > 0 && hw_threads < max_threads) {
+    std::printf(
+        "  predicted max speedup at p=%u (pool %u clamped to %u hardware "
+        "threads): %.2fx\n",
+        p, max_threads, hw_threads, predicted);
+  } else {
+    std::printf("  predicted max speedup at p=%u: %.2fx\n", p, predicted);
+  }
+  if (observed <= 0 && bench_path != nullptr) {
+    observed = ObservedSpeedupFromBench(bench_path);
+    if (observed <= 0) {
+      std::fprintf(stderr,
+                   "par_report: no usable sweep rows in %s (need typed rows "
+                   "with params.threads and seconds.wall)\n",
+                   bench_path);
+    }
+  }
+  if (observed > 0) {
+    const double delta = std::fabs(predicted - observed) / observed;
+    std::printf("  observed speedup: %.2fx -> prediction off by %.1f%%\n",
+                observed, 100.0 * delta);
+  }
+
+  if (check) {
+    // Structural soundness only (see the file comment): the join worked,
+    // tasks landed inside the run span, and the serial fraction is a
+    // sensible probability.
+    if (tasks_in_window == 0) {
+      std::fprintf(stderr, "par_report: --check: no tasks inside the '%s' "
+                           "window\n",
+                   run_name);
+      return 1;
+    }
+    if (serial_fraction < 0.0 || serial_fraction > 1.0 ||
+        !std::isfinite(predicted)) {
+      std::fprintf(stderr,
+                   "par_report: --check: nonsensical serial fraction %.3f\n",
+                   serial_fraction);
+      return 1;
+    }
+    std::printf("\n--check: ok\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace frontiers
+
+int main(int argc, char** argv) { return frontiers::Run(argc, argv); }
