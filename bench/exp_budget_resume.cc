@@ -75,9 +75,14 @@ bool RoundCountersEqual(const ChaseStats& a, const ChaseStats& b) {
 }
 
 bool Identical(const ChaseResult& a, const ChaseResult& b) {
+  // approx_bytes is the content-mode ledger total (base/mem_ledger.h):
+  // equality here is the E18 memory claim — an interrupted, snapshotted,
+  // resumed run reconstructs the same ledger byte-for-byte, so byte
+  // budgets meter identically on both sides.
   return a.facts.atoms() == b.facts.atoms() && a.depth == b.depth &&
          a.complete_rounds == b.complete_rounds && a.stop == b.stop &&
          a.first_derivation.size() == b.first_derivation.size() &&
+         a.approx_bytes == b.approx_bytes &&
          RoundCountersEqual(a.stats, b.stats);
 }
 
@@ -194,6 +199,8 @@ int Run() {
         .Counter("interrupts", interrupts)
         .Counter("atoms", result.facts.size())
         .Counter("rounds", result.complete_rounds)
+        .Counter("mem_total_bytes", result.approx_bytes)
+        .Counter("mem_peak_bytes", result.peak_bytes)
         .Seconds("wall", result.stats.total_seconds);
     if (bench::BudgetTripped(result.stop)) {
       row.Budget(ChaseStopName(result.stop));

@@ -51,6 +51,13 @@ struct SweepPoint {
   size_t atoms;
   uint64_t matches;
   uint64_t parallel_rounds;
+  // Memory pillar (DESIGN.md §9): content-mode total at fixpoint and the
+  // capacity-mode high-water mark.  Both are deterministic — the content
+  // total is a pure function of the logical result and the peak is
+  // thread-invariant — so they are safe baseline fields, unlike sampled
+  // RSS (which lives in the --mem stream's diag rows, never here).
+  uint64_t mem_total_bytes;
+  uint64_t mem_peak_bytes;
 };
 
 std::string Fmt(double v) {
@@ -98,7 +105,8 @@ void Sweep(const std::string& title, Vocabulary& vocab, const Theory& theory,
                       result.stats.ShardWaitSeconds(),
                       result.stats.ShardHoldSeconds(), worst_imbalance,
                       result.facts.size(), result.stats.TotalMatches(),
-                      result.stats.ParallelRounds()});
+                      result.stats.ParallelRounds(), result.approx_bytes,
+                      result.peak_bytes});
     if (threads == thread_counts.front()) {
       baseline = std::move(result);
     } else if (result.facts.atoms() != baseline.facts.atoms() ||
@@ -134,6 +142,8 @@ void Sweep(const std::string& title, Vocabulary& vocab, const Theory& theory,
         .Counter("atoms", p.atoms)
         .Counter("matches", p.matches)
         .Counter("parallel_rounds", p.parallel_rounds)
+        .Counter("mem_total_bytes", p.mem_total_bytes)
+        .Counter("mem_peak_bytes", p.mem_peak_bytes)
         .Seconds("wall", p.seconds)
         .Seconds("match", p.match_seconds)
         .Seconds("commit", p.commit_seconds)

@@ -77,6 +77,13 @@ class ColumnarSegment {
   /// `ResizeRows`.
   std::vector<TermId>& MutableColumn(uint32_t pos) { return columns_[pos]; }
 
+  /// Heap footprint of the column vectors (outer vector + each column).
+  uint64_t HeapBytes(MemAccounting mode) const {
+    uint64_t sum = VectorHeapBytes(columns_, mode);
+    for (const auto& column : columns_) sum += VectorHeapBytes(column, mode);
+    return sum;
+  }
+
  private:
   uint32_t arity_;
   size_t rows_ = 0;
@@ -117,6 +124,11 @@ class PostingPool {
 
   Chunk& At(uint32_t i) { return chunks_[i]; }
   const Chunk& At(uint32_t i) const { return chunks_[i]; }
+
+  /// Heap footprint of the chunk arena.
+  uint64_t HeapBytes(MemAccounting mode) const {
+    return VectorHeapBytes(chunks_, mode);
+  }
 
  private:
   std::vector<Chunk> chunks_;
@@ -223,6 +235,13 @@ class PostingMap {
     ++e.count;
   }
 
+  /// Heap footprint of the slot array (chunks live in the PostingPool).
+  uint64_t HeapBytes(MemAccounting mode) const {
+    const size_t n =
+        mode == MemAccounting::kCapacity ? slots_.capacity() : size_;
+    return static_cast<uint64_t>(n) * sizeof(Entry);
+  }
+
   /// The entry for `key`, or nullptr if it has no postings.
   const Entry* Find(TermId key) const {
     if (slots_.empty()) return nullptr;
@@ -296,6 +315,12 @@ struct RowBlock {
     predicates.clear();
     offsets.clear();
     terms.clear();
+  }
+
+  /// Heap footprint of the three flat arrays.
+  uint64_t HeapBytes(MemAccounting mode) const {
+    return VectorHeapBytes(predicates, mode) + VectorHeapBytes(offsets, mode) +
+           VectorHeapBytes(terms, mode);
   }
 };
 

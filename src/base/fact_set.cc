@@ -671,6 +671,114 @@ uint32_t FactSet::AtomDegree(TermId t) const {
   return t < atom_degree_.size() ? atom_degree_[t] : 0;
 }
 
+uint64_t FactSet::PredColumnsBytes(const PredicateIndex& pidx,
+                                   MemAccounting mode) const {
+  return pidx.segment.HeapBytes(mode);
+}
+
+uint64_t FactSet::PredPostingsBytes(const PredicateIndex& pidx,
+                                    MemAccounting mode) const {
+  uint64_t sum = VectorHeapBytes(pidx.by_position, mode);
+  for (const PositionIndex& pi : pidx.by_position) {
+    sum += pi.map.HeapBytes(mode) + pi.pool.HeapBytes(mode);
+  }
+  return sum;
+}
+
+uint64_t FactSet::DedupHeapBytes(MemAccounting mode) const {
+  // The shard skeleton (shard array, mutexes) scales with the shard count —
+  // a pure performance knob that a snapshot round-trip may change — so it
+  // is capacity-only.  Content mode keeps just the per-row dedup entries,
+  // whose sum across shards is a function of the logical row set alone.
+  uint64_t sum = 0;
+  if (mode == MemAccounting::kCapacity) {
+    sum += VectorHeapBytes(shards_, mode) +
+           VectorHeapBytes(shard_mutexes_, mode) +
+           static_cast<uint64_t>(shard_count()) * sizeof(std::mutex);
+  }
+  for (const Shard& shard : shards_) sum += shard.dedup.HeapBytes(mode);
+  return sum;
+}
+
+uint64_t FactSet::MetaHeapBytes(MemAccounting mode) const {
+  uint64_t sum = VectorHeapBytes(atoms_, mode) +
+                 VectorHeapBytes(local_row_, mode) +
+                 VectorHeapBytes(domain_, mode) +
+                 VectorHeapBytes(atom_degree_, mode) +
+                 UnorderedOverheadBytes(
+                     predicates_.bucket_count(), predicates_.size(),
+                     sizeof(std::pair<const PredicateId, PredicateIndex>),
+                     mode);
+  for (const auto& [p, pidx] : predicates_) {
+    sum += VectorHeapBytes(pidx.atom_ids, mode);
+    // Per-atom args vectors: every construction path copy-allocates the
+    // exact arity, so capacity == size == arity in both modes and the sum
+    // falls out of the segments without walking atoms_.
+    const uint32_t arity = pidx.segment.arity();
+    sum += static_cast<uint64_t>(pidx.segment.rows()) * arity *
+           sizeof(TermId);
+  }
+  return sum;
+}
+
+uint64_t FactSet::ScratchHeapBytes() const {
+  // Scratch is transient working state whose footprint depends on the
+  // thread/shard split, so it is always reported at capacity (the bytes
+  // the process actually holds) and never enters the deterministic total.
+  const MemAccounting mode = MemAccounting::kCapacity;
+  const BatchScratch& s = scratch_;
+  uint64_t sum =
+      VectorHeapBytes(s.hashes, mode) + VectorHeapBytes(s.shard_of, mode) +
+      VectorHeapBytes(s.pidx_of, mode) + VectorHeapBytes(s.found, mode) +
+      VectorHeapBytes(s.row_global, mode) +
+      VectorHeapBytes(s.row_local, mode) +
+      VectorHeapBytes(s.plan_of_row, mode) +
+      VectorHeapBytes(s.shard_rows, mode) +
+      VectorHeapBytes(s.shard_new, mode) +
+      VectorHeapBytes(s.active_shards, mode) +
+      VectorHeapBytes(s.new_rows, mode) + VectorHeapBytes(s.plans, mode) +
+      VectorHeapBytes(s.plan_rows, mode) + VectorHeapBytes(s.tasks, mode) +
+      VectorHeapBytes(s.task_busy_ns, mode) +
+      VectorHeapBytes(s.shard_wait_ns, mode) +
+      VectorHeapBytes(s.shard_hold_ns, mode) +
+      UnorderedOverheadBytes(s.plan_of.bucket_count(), s.plan_of.size(),
+                             sizeof(std::pair<const PredicateId, uint32_t>),
+                             mode);
+  for (const auto& v : s.shard_rows) sum += VectorHeapBytes(v, mode);
+  for (const auto& v : s.shard_new) sum += VectorHeapBytes(v, mode);
+  return sum;
+}
+
+void FactSet::AccountHeap(MemTotals& totals, MemAccounting mode) const {
+  uint64_t columns = 0, postings = 0;
+  for (const auto& [p, pidx] : predicates_) {
+    columns += PredColumnsBytes(pidx, mode);
+    postings += PredPostingsBytes(pidx, mode);
+  }
+  totals.Add(MemComponent::kColumns, columns);
+  totals.Add(MemComponent::kPostings, postings);
+  totals.Add(MemComponent::kDedup, DedupHeapBytes(mode));
+  totals.Add(MemComponent::kFactMeta, MetaHeapBytes(mode));
+  totals.Add(MemComponent::kScratch, ScratchHeapBytes());
+}
+
+void FactSet::AccountLedger(MemLedger& ledger, MemAccounting mode) const {
+  std::vector<PredicateId> preds;
+  preds.reserve(predicates_.size());
+  for (const auto& [p, pidx] : predicates_) preds.push_back(p);
+  std::sort(preds.begin(), preds.end());
+  for (PredicateId p : preds) {
+    ledger.Add(MemComponent::kColumns, p,
+               PredColumnsBytes(predicates_.at(p), mode));
+  }
+  for (PredicateId p : preds) {
+    ledger.Add(MemComponent::kPostings, p,
+               PredPostingsBytes(predicates_.at(p), mode));
+  }
+  ledger.Add(MemComponent::kDedup, UINT32_MAX, DedupHeapBytes(mode));
+  ledger.Add(MemComponent::kFactMeta, UINT32_MAX, MetaHeapBytes(mode));
+}
+
 std::string FactSet::ToString(const Vocabulary& vocab) const {
   std::string out = "{";
   for (size_t i = 0; i < atoms_.size(); ++i) {

@@ -242,6 +242,19 @@ class FactSet {
   /// Renders `{A(...), B(...)}`.
   std::string ToString(const Vocabulary& vocab) const;
 
+  /// Adds this store's heap footprint into `totals`, component by
+  /// component (columns, postings, dedup, fact_meta, scratch), computed
+  /// from the store's own bookkeeping in O(predicates × arity + shards).
+  /// Deterministic in capacity mode for a fixed insert sequence; see
+  /// MemAccounting for the capacity/content contract.
+  void AccountHeap(MemTotals& totals, MemAccounting mode) const;
+
+  /// Appends per-predicate attribution rows (columns, postings — in
+  /// component-major, predicate-id order) plus the global dedup and
+  /// fact_meta rows to `ledger`.  Scratch is deliberately absent: it is
+  /// thread-dependent and only ever reported as a diagnostic total.
+  void AccountLedger(MemLedger& ledger, MemAccounting mode) const;
+
  private:
   // Everything keyed by predicate lives in one struct, so an insert
   // resolves the predicate once and then touches only TermId-keyed
@@ -340,6 +353,16 @@ class FactSet {
   /// Shared tail of `Insert`/`InsertRow`/`InsertBatch`: index maintenance
   /// for the freshly appended atom at `index`.
   void IndexNewAtom(uint32_t index, PredicateIndex& pidx);
+
+  // Accounting helpers shared by AccountHeap and AccountLedger, so the
+  // per-predicate ledger rows sum to exactly the component totals.
+  uint64_t PredColumnsBytes(const PredicateIndex& pidx,
+                            MemAccounting mode) const;
+  uint64_t PredPostingsBytes(const PredicateIndex& pidx,
+                             MemAccounting mode) const;
+  uint64_t DedupHeapBytes(MemAccounting mode) const;
+  uint64_t MetaHeapBytes(MemAccounting mode) const;
+  uint64_t ScratchHeapBytes() const;
 
   /// Records `t` at position `pos` of the freshly appended `atom` into the
   /// degree/domain structures (first-occurrence-in-atom discipline).

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "base/mem_ledger.h"
+
 namespace frontiers {
 
 /// FNV-1a over a leading tag and a span of 32-bit ids; shared by the fact
@@ -118,6 +120,16 @@ class IdHashSet {
     slots_[hole] = Slot{0, kNotFound};
     --size_;
     return true;
+  }
+
+  /// Heap footprint of the slot array.  Capacity mode reports what the
+  /// vector reserved; content mode reports occupied slots only, since the
+  /// table shape depends on growth/Reserve history a reconstruction may
+  /// not replay (see MemAccounting).
+  uint64_t HeapBytes(MemAccounting mode) const {
+    const size_t n =
+        mode == MemAccounting::kCapacity ? slots_.capacity() : size_;
+    return static_cast<uint64_t>(n) * sizeof(Slot);
   }
 
   /// Pre-sizes the table for `n` total entries (one rehash up front

@@ -36,6 +36,7 @@ namespace internal {
 inline constexpr uint32_t kSpanTrace = 1u << 0;    ///< TraceSession active.
 inline constexpr uint32_t kSpanProfile = 1u << 1;  ///< ProfileSession active.
 inline constexpr uint32_t kSpanTasks = 1u << 2;    ///< TaskStreamSession.
+inline constexpr uint32_t kSpanMem = 1u << 3;      ///< MemStreamSession.
 extern std::atomic<uint32_t> g_span_mask;
 
 /// Monotonic nanoseconds (steady clock).  Only meaningful as differences —
@@ -131,6 +132,78 @@ inline void EmitShard(const ShardRecord& record) {
 void NotifyWorkerThreadExit();
 
 }  // namespace taskhooks
+
+namespace memhooks {
+
+/// One (component, predicate) byte-attribution row at a round boundary.
+/// The chase emits rows in component-major, predicate-id order with only
+/// deterministic values, so a `frontiers-mem-v1` stream is byte-identical
+/// across thread counts (DESIGN.md §9).  The name pointers reference the
+/// static component table and the vocabulary's interned predicate names;
+/// both outlive the synchronous hook call.
+struct MemRowRecord {
+  uint64_t run;    ///< Session-local run ordinal (BeginMemRun()).
+  uint64_t round;  ///< Completed chase rounds at this boundary.
+  const char* component;
+  const char* predicate;  ///< "" for components not owned by a predicate.
+  uint64_t bytes;
+};
+
+/// One round-boundary summary.  `total_bytes`/`peak_bytes` are the
+/// deterministic ledger figures; `scratch_bytes` is the thread-dependent
+/// transient state, reported out-of-band so the deterministic rows stay
+/// comparable across thread counts.  The session adds its own sampled
+/// `rss_bytes` when it writes the diagnostic row.
+struct MemRoundRecord {
+  uint64_t run;
+  uint64_t round;
+  uint64_t atoms;
+  uint64_t total_bytes;
+  uint64_t peak_bytes;
+  uint64_t scratch_bytes;
+};
+
+using MemRunFn = uint64_t (*)();
+using MemRowFn = void (*)(const MemRowRecord&);
+using MemRoundFn = void (*)(const MemRoundRecord&);
+
+extern std::atomic<MemRunFn> g_mem_run_fn;
+extern std::atomic<MemRowFn> g_mem_row_fn;
+extern std::atomic<MemRoundFn> g_mem_round_fn;
+
+/// Installs the mem hooks; written with release order before the
+/// kSpanMem bit is raised, mirroring SetTaskHooks.
+void SetMemHooks(MemRunFn run_fn, MemRowFn row_fn, MemRoundFn round_fn);
+
+/// True while a MemStreamSession is active.  One relaxed load — the whole
+/// disabled cost of the memory telemetry.
+inline bool MemEnabled() {
+  return (internal::g_span_mask.load(std::memory_order_relaxed) &
+          internal::kSpanMem) != 0;
+}
+
+/// Claims a run ordinal from the active session.  Session-local (resets
+/// at Start()) rather than taskhooks::NextBatchId on purpose: batch ids
+/// advance with every pool batch, and batch *counts* vary with the
+/// thread count, which would leak into the stream and break its
+/// byte-identical-across-threads contract.  Returns 0 when no session is
+/// active.
+inline uint64_t BeginMemRun() {
+  if (MemRunFn fn = g_mem_run_fn.load(std::memory_order_acquire)) return fn();
+  return 0;
+}
+
+inline void EmitMemRow(const MemRowRecord& record) {
+  if (MemRowFn fn = g_mem_row_fn.load(std::memory_order_acquire)) fn(record);
+}
+
+inline void EmitMemRound(const MemRoundRecord& record) {
+  if (MemRoundFn fn = g_mem_round_fn.load(std::memory_order_acquire)) {
+    fn(record);
+  }
+}
+
+}  // namespace memhooks
 
 }  // namespace frontiers::obs
 

@@ -109,6 +109,7 @@ TermId Vocabulary::SkolemTerm(SkolemFnId fn, const std::vector<TermId>& args) {
   for (TermId a : args) depth = std::max(depth, terms_[a].depth);
   data.depth = depth + 1;
   terms_.push_back(std::move(data));
+  term_args_bytes_ += static_cast<uint64_t>(args.size()) * sizeof(TermId);
   return id;
 }
 
@@ -194,6 +195,62 @@ SkolemFnId Vocabulary::SkolemFunction(std::string_view signature,
 
 const std::string& Vocabulary::TermName(TermId t) const {
   return names_[terms_[t].name_index];
+}
+
+void Vocabulary::AccountHeap(MemTotals& totals, MemAccounting mode) const {
+  const auto strings = [mode](const auto& container, auto&& key_of) {
+    uint64_t sum = 0;
+    for (const auto& item : container) sum += StringHeapBytes(key_of(item), mode);
+    return sum;
+  };
+  uint64_t terms = VectorHeapBytes(terms_, mode) +
+                   VectorHeapBytes(names_, mode) +
+                   strings(names_, [](const std::string& s) -> const std::string& {
+                     return s;
+                   }) +
+                   VectorHeapBytes(predicates_, mode) +
+                   strings(predicates_, [](const PredicateData& p) -> const std::string& {
+                     return p.name;
+                   });
+  const auto string_map = [&](const auto& map, size_t node_payload) {
+    uint64_t sum = UnorderedOverheadBytes(map.bucket_count(), map.size(),
+                                          node_payload, mode);
+    for (const auto& [key, value] : map) sum += StringHeapBytes(key, mode);
+    return sum;
+  };
+  terms += string_map(predicate_index_,
+                      sizeof(std::pair<const std::string, PredicateId>));
+  terms += string_map(constant_index_,
+                      sizeof(std::pair<const std::string, TermId>));
+  terms += string_map(variable_index_,
+                      sizeof(std::pair<const std::string, TermId>));
+  totals.Add(MemComponent::kVocabTerms, terms);
+
+  uint64_t skolem =
+      term_args_bytes_ + skolem_term_index_.HeapBytes(mode) +
+      VectorHeapBytes(skolem_fns_, mode) +
+      strings(skolem_fns_, [](const SkolemFnData& f) -> const std::string& {
+        return f.signature;
+      }) +
+      string_map(skolem_fn_index_,
+                 sizeof(std::pair<const std::string, SkolemFnId>));
+  if (mode == MemAccounting::kCapacity) {
+    // The block/row tables are derived caches: they memoize (block, args)
+    // probes and are rebuilt lazily after a process restart, so a resumed
+    // vocabulary holds a different row population than the original's even
+    // though the logical term state is identical.  Content mode — defined
+    // as a pure function of logical state — therefore excludes them; they
+    // are real bytes, so capacity mode (the stream / RSS-coverage figure)
+    // keeps them.
+    skolem += VectorHeapBytes(skolem_blocks_, mode) +
+              VectorHeapBytes(skolem_block_fns_, mode) +
+              string_map(skolem_block_index_,
+                         sizeof(std::pair<const std::string, uint32_t>)) +
+              VectorHeapBytes(skolem_rows_, mode) +
+              VectorHeapBytes(skolem_row_terms_, mode) +
+              skolem_row_index_.HeapBytes(mode);
+  }
+  totals.Add(MemComponent::kVocabSkolem, skolem);
 }
 
 std::string Vocabulary::TermToString(TermId t) const {

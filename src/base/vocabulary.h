@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "base/hash_table.h"
+#include "base/mem_ledger.h"
 
 namespace frontiers {
 
@@ -194,6 +195,14 @@ class Vocabulary {
   /// Human-readable rendering of a term (Skolem terms print as `f12(...)`).
   std::string TermToString(TermId t) const;
 
+  /// Adds the vocabulary's heap footprint into `totals`: the term table,
+  /// names and name indexes under kVocabTerms, and everything the chase's
+  /// Skolem interning grows — argument vectors, hash-consing tables,
+  /// blocks, rows — under kVocabSkolem.  O(predicates + named terms +
+  /// skolem fns/blocks), i.e. independent of the number of Skolem terms
+  /// (their argument bytes are carried by an exact running counter).
+  void AccountHeap(MemTotals& totals, MemAccounting mode) const;
+
  private:
   struct TermData {
     TermKind kind;
@@ -251,6 +260,10 @@ class Vocabulary {
   IdHashSet skolem_row_index_;
 
   uint64_t fresh_counter_ = 0;
+  // Exact heap bytes of all interned terms' argument vectors.  Every
+  // construction path copy-allocates the exact arity, so capacity == size
+  // and one running counter serves both accounting modes.
+  uint64_t term_args_bytes_ = 0;
 };
 
 }  // namespace frontiers

@@ -1,6 +1,7 @@
 #include "chase/chase.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -11,6 +12,7 @@
 
 #include "base/check.h"
 #include "base/failpoint.h"
+#include "base/obs_hooks.h"
 #include "base/worker_pool.h"
 #include "chase/snapshot.h"
 #include "hom/matcher.h"
@@ -51,6 +53,12 @@ struct ChaseMetrics {
   obs::Counter& rounds_parallel;
   obs::Counter& rounds_serial;
   obs::Gauge& live_bytes;
+  // Ledger-backed memory observability (DESIGN.md §9): the capacity-mode
+  // tracked total at the last round boundary and its process-lifetime
+  // high-water mark, published under `frontiers.mem.*` alongside the
+  // per-component gauges below.
+  obs::Gauge& mem_total_bytes;
+  obs::Gauge& mem_peak_bytes;
   // Shard contention per batch commit (wait = blocked acquiring a shard
   // mutex, hold = productive time under it) and the latest batch's
   // max/mean shard-row imbalance.
@@ -65,6 +73,10 @@ struct ChaseMetrics {
   obs::Histogram& shard_wait_seconds;
   obs::Histogram& shard_hold_seconds;
   obs::Histogram& run_seconds;
+  // One gauge per ledger component (`frontiers.mem.<component>_bytes`),
+  // capacity mode, set at every round boundary.  Filled after the
+  // aggregate init below (names are composed, not literals).
+  std::array<obs::Gauge*, kMemComponentCount> mem_components{};
 
   static ChaseMetrics& Get() {
     static ChaseMetrics* metrics = [] {
@@ -75,7 +87,7 @@ struct ChaseMetrics {
                                                1e4,  1e5,  1e6};
       const std::vector<double> shard_buckets = {1.0, 2.0, 4.0, 8.0, 16.0,
                                                  32.0, 64.0, 128.0, 256.0};
-      return new ChaseMetrics{
+      ChaseMetrics* m = new ChaseMetrics{
           reg.GetCounter("frontiers.chase.runs"),
           reg.GetCounter("frontiers.chase.rounds"),
           reg.GetCounter("frontiers.chase.matches"),
@@ -90,6 +102,8 @@ struct ChaseMetrics {
           reg.GetCounter("frontiers.chase.rounds_parallel"),
           reg.GetCounter("frontiers.chase.rounds_serial"),
           reg.GetGauge("frontiers.chase.live_bytes"),
+          reg.GetGauge("frontiers.mem.total_bytes"),
+          reg.GetGauge("frontiers.mem.peak_bytes"),
           reg.GetGauge("frontiers.chase.shard_imbalance"),
           reg.GetHistogram("frontiers.chase.match_seconds", phase_buckets),
           reg.GetHistogram("frontiers.chase.commit_seconds", phase_buckets),
@@ -106,37 +120,89 @@ struct ChaseMetrics {
           reg.GetHistogram("frontiers.chase.shard_hold_seconds",
                            phase_buckets),
           reg.GetHistogram("frontiers.chase.run_seconds", phase_buckets)};
+      for (size_t c = 0; c < kMemComponentCount; ++c) {
+        m->mem_components[c] = &reg.GetGauge(
+            std::string("frontiers.mem.") +
+            MemComponentName(static_cast<MemComponent>(c)) + "_bytes");
+      }
+      return m;
     }();
     return *metrics;
   }
 };
 
-// --- Approximate live-memory accounting -----------------------------------
-// The byte budget (ChaseOptions::max_bytes) meters the chase's own state
-// with closed-form per-object estimates rather than a real allocator hook:
-// the estimates are deterministic (same inputs -> same byte count at every
-// thread count), portable, and cheap.  Constants approximate a 64-bit
-// libstdc++ layout: object header + hash-table slot + heap block overhead.
+// --- Ledger-backed live-memory accounting ----------------------------------
+// Every owning container self-reports exact bytes from its own bookkeeping
+// (base/mem_ledger.h); the chase rolls them up at round boundaries.  Two
+// components live outside FactSet/Vocabulary and are accounted here: the
+// frontier memo (seen_applications) and provenance.  Their *inner* heap —
+// memo key characters, Derivation::parents vectors — is carried by running
+// counters in RunState (a walk per boundary would be O(atoms)); the walks
+// below recompute them from scratch for Resume initialization and for the
+// debug-build incremental-vs-recomputed assert.
 
-size_t ApproxRowBytes(size_t arity) {
-  // Atom storage + columnar row + dedup slot + per-position index entries.
-  return 96 + 16 * arity;
+uint64_t MemoKeyBytes(const std::unordered_set<std::string>& seen,
+                      MemAccounting mode) {
+  uint64_t sum = 0;
+  for (const std::string& key : seen) sum += StringHeapBytes(key, mode);
+  return sum;
 }
 
-size_t ApproxAtomBytes(const Atom& atom) {
-  return ApproxRowBytes(atom.args.size());
+uint64_t ProvInnerBytes(const ChaseResult& result, MemAccounting mode) {
+  uint64_t sum = 0;
+  for (const std::optional<Derivation>& d : result.first_derivation) {
+    if (d.has_value()) sum += VectorHeapBytes(d->parents, mode);
+  }
+  for (const std::vector<Derivation>& list : result.all_derivations) {
+    sum += VectorHeapBytes(list, mode);
+    for (const Derivation& d : list) sum += VectorHeapBytes(d.parents, mode);
+  }
+  return sum;
 }
 
-size_t ApproxDerivationBytes(const Derivation& d) {
-  return 48 + 4 * d.parents.size();
-}
-
-size_t ApproxKeyBytes(const std::string& key) {
-  // Hash-set node + the key's characters.
-  return 64 + key.size();
+// Full ledger of a chase state, with the memo/provenance inner bytes
+// supplied by the caller (either the incremental counters or the walks
+// above).  Everything except kScratch, which belongs to an engine's
+// in-flight round.
+MemTotals ChaseMemTotalsFromParts(const ChaseResult& result,
+                                  const Vocabulary& vocab, MemAccounting mode,
+                                  uint64_t memo_key_bytes,
+                                  uint64_t prov_inner_bytes) {
+  MemTotals totals;
+  result.facts.AccountHeap(totals, mode);
+  vocab.AccountHeap(totals, mode);
+  totals.Add(MemComponent::kFrontierMemo,
+             memo_key_bytes +
+                 UnorderedOverheadBytes(result.seen_applications.bucket_count(),
+                                        result.seen_applications.size(),
+                                        sizeof(std::string), mode));
+  totals.Add(
+      MemComponent::kProvenance,
+      prov_inner_bytes + VectorHeapBytes(result.depth, mode) +
+          VectorHeapBytes(result.first_derivation, mode) +
+          VectorHeapBytes(result.all_derivations, mode) +
+          UnorderedOverheadBytes(result.birth_atom.bucket_count(),
+                                 result.birth_atom.size(),
+                                 sizeof(std::pair<const TermId, uint32_t>),
+                                 mode));
+  // The run's own diagnostics (per-round counters and timings) are real
+  // heap bytes but not chase state: attribute them to kScratch so the
+  // audit walk is complete over ChaseResult (the allocator oracle in
+  // tests/mem_test.cc checks GrandTotal against net heap growth) while
+  // TrackedTotal — budgets, live_bytes, the stream's total — ignores them.
+  totals.Add(MemComponent::kScratch,
+             VectorHeapBytes(result.stats.rounds, mode));
+  return totals;
 }
 
 }  // namespace
+
+MemTotals ComputeChaseMemTotals(const ChaseResult& result,
+                                const Vocabulary& vocab, MemAccounting mode) {
+  return ChaseMemTotalsFromParts(result, vocab, mode,
+                                 MemoKeyBytes(result.seen_applications, mode),
+                                 ProvInnerBytes(result, mode));
+}
 
 const char* ChaseStopName(ChaseStop stop) {
   switch (stop) {
@@ -164,9 +230,11 @@ std::string ChaseHeartbeat::ToJsonLine() const {
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"schema\":\"frontiers-heartbeat-v1\",\"round\":%u,\"facts\":%llu,"
-      "\"facts_per_sec\":%.6g,\"bytes\":%llu,\"elapsed_seconds\":%.6f",
+      "\"facts_per_sec\":%.6g,\"bytes\":%llu,\"peak_bytes\":%llu,"
+      "\"elapsed_seconds\":%.6f",
       round, static_cast<unsigned long long>(facts), facts_per_second,
-      static_cast<unsigned long long>(bytes), elapsed_seconds);
+      static_cast<unsigned long long>(bytes),
+      static_cast<unsigned long long>(peak_bytes), elapsed_seconds);
   line = buffer;
   if (budget_remaining_seconds >= 0) {
     std::snprintf(buffer, sizeof(buffer),
@@ -354,7 +422,35 @@ std::string ChaseStats::Summary() const {
       static_cast<unsigned long long>(TotalInserted()), match, commit,
       CommitExpandSeconds(), CommitDedupSeconds(), CommitIndexSeconds(), other,
       total, WorkSeconds(), CriticalPathSeconds(), AchievableSpeedup());
-  return buffer;
+  std::string out = buffer;
+  if (!rounds.empty()) {
+    // Ledger figures (capacity mode, DESIGN.md §9): the last boundary's
+    // component breakdown plus the per-round high-water of this stats view.
+    const MemTotals& t = rounds.back().mem;
+    uint64_t peak = 0;
+    for (const ChaseRoundStats& r : rounds) {
+      peak = std::max<uint64_t>(peak, r.mem.TrackedTotal());
+    }
+    const uint64_t store = t.Get(MemComponent::kColumns) +
+                           t.Get(MemComponent::kPostings) +
+                           t.Get(MemComponent::kDedup) +
+                           t.Get(MemComponent::kFactMeta);
+    const uint64_t vocab = t.Get(MemComponent::kVocabTerms) +
+                           t.Get(MemComponent::kVocabSkolem);
+    std::snprintf(
+        buffer, sizeof(buffer),
+        " mem=%llu (store=%llu vocab=%llu prov=%llu memo=%llu scratch=%llu) "
+        "mem_peak=%llu",
+        static_cast<unsigned long long>(t.TrackedTotal()),
+        static_cast<unsigned long long>(store),
+        static_cast<unsigned long long>(vocab),
+        static_cast<unsigned long long>(t.Get(MemComponent::kProvenance)),
+        static_cast<unsigned long long>(t.Get(MemComponent::kFrontierMemo)),
+        static_cast<unsigned long long>(t.Get(MemComponent::kScratch)),
+        static_cast<unsigned long long>(peak));
+    out += buffer;
+  }
+  return out;
 }
 
 std::string ChaseStats::ToString() const {
@@ -628,14 +724,26 @@ struct UnitBuffer {
 // from a database, `Resume` from a snapshot; `RunFromState` consumes it.
 // `result.facts`/`depth`/provenance always describe a complete chase stage
 // on entry, `round` is the next round to execute, `delta_*` the previous
-// round's additions, and `live_bytes` the deterministic byte estimate of
-// everything accumulated so far.
+// round's additions, and `live_bytes` the content-mode ledger total at the
+// last round boundary (the byte-budget quantity).
 struct ChaseEngine::RunState {
   ChaseResult result;
   std::vector<uint32_t> delta_atoms;
   std::vector<TermId> delta_terms;
   uint32_t round = 0;
   size_t live_bytes = 0;
+  // Capacity-mode high-water over all round boundaries of the *logical*
+  // run (restored from the snapshot on resume).
+  uint64_t peak_bytes = 0;
+  // Incremental inner-heap counters for the two chase-owned components,
+  // kept exactly in sync with seen_applications / the derivation vectors
+  // (asserted against full walks at every boundary in debug builds).  The
+  // memo counters need both modes: libstdc++ string reserve may round a
+  // key's capacity up, so capacity and content diverge for some keys.
+  uint64_t memo_key_capacity = 0;
+  uint64_t memo_key_content = 0;
+  uint64_t prov_inner_capacity = 0;
+  uint64_t prov_inner_content = 0;
 };
 
 ChaseResult ChaseEngine::Run(const FactSet& db,
@@ -654,9 +762,8 @@ ChaseResult ChaseEngine::Run(const FactSet& db,
   state.delta_atoms.resize(db.size());
   for (uint32_t i = 0; i < db.size(); ++i) state.delta_atoms[i] = i;
   state.delta_terms = db.Domain();
-  for (const Atom& atom : db.atoms()) {
-    state.live_bytes += ApproxAtomBytes(atom);
-  }
+  // live_bytes and the ledger counters are zero here; RunFromState accounts
+  // the initial boundary (the input database) before the first round.
   return RunFromState(std::move(state), options);
 }
 
@@ -713,7 +820,6 @@ ChaseResult ChaseEngine::Resume(const ChaseSnapshot& snapshot,
   for (const Atom& atom : snapshot.atoms) {
     const bool inserted = result.facts.Insert(atom);
     FRONTIERS_CHECK(inserted, "snapshot contains a duplicate atom");
-    state.live_bytes += ApproxAtomBytes(atom);
   }
   result.depth = snapshot.depth;
   const bool provenance =
@@ -722,30 +828,44 @@ ChaseResult ChaseEngine::Resume(const ChaseSnapshot& snapshot,
     FRONTIERS_CHECK(snapshot.first_derivation.size() == snapshot.atoms.size(),
                     "snapshot is missing provenance for some atoms");
     result.first_derivation = snapshot.first_derivation;
-    for (const std::optional<Derivation>& d : result.first_derivation) {
-      if (d.has_value()) state.live_bytes += ApproxDerivationBytes(*d);
-    }
   }
   if (options.record_all_derivations) {
     FRONTIERS_CHECK(snapshot.all_derivations.size() == snapshot.atoms.size(),
                     "snapshot is missing derivation lists for some atoms");
     result.all_derivations = snapshot.all_derivations;
-    for (const std::vector<Derivation>& list : result.all_derivations) {
-      for (const Derivation& d : list) {
-        state.live_bytes += ApproxDerivationBytes(d);
-      }
-    }
   }
   for (const auto& [term, atom] : snapshot.birth_atoms) {
     result.birth_atom.emplace(term, atom);
   }
   for (const std::string& key : snapshot.seen_applications) {
     result.seen_applications.insert(key);
-    state.live_bytes += ApproxKeyBytes(key);
   }
   result.stats.rounds = snapshot.round_stats;
   result.stats.total_seconds = snapshot.total_seconds;
   state.round = snapshot.next_round;
+
+  // Rebuild the incremental ledger counters from the reconstructed state
+  // with one walk each (kept in sync incrementally from here on), and
+  // restore the logical run's capacity high-water mark from the snapshot.
+  state.memo_key_capacity =
+      MemoKeyBytes(result.seen_applications, MemAccounting::kCapacity);
+  state.memo_key_content =
+      MemoKeyBytes(result.seen_applications, MemAccounting::kContent);
+  state.prov_inner_capacity = ProvInnerBytes(result, MemAccounting::kCapacity);
+  state.prov_inner_content = ProvInnerBytes(result, MemAccounting::kContent);
+  state.live_bytes =
+      ChaseMemTotalsFromParts(result, vocab_, MemAccounting::kContent,
+                              state.memo_key_content, state.prov_inner_content)
+          .TrackedTotal();
+  state.peak_bytes = snapshot.peak_bytes;
+  // Content-mode accounting is a pure function of logical state, so the
+  // reconstruction must land on the snapshotted figure byte-for-byte —
+  // the determinism contract of DESIGN.md §9.
+  FRONTIERS_CHECK(snapshot.approx_bytes == state.live_bytes,
+                  "snapshot approx_bytes (" +
+                      std::to_string(snapshot.approx_bytes) +
+                      ") disagrees with the reconstructed ledger total (" +
+                      std::to_string(state.live_bytes) + ")");
 
   // A fixpoint run is already complete; re-entering the loop would append a
   // spurious empty round to the stats.
@@ -753,6 +873,12 @@ ChaseResult ChaseEngine::Resume(const ChaseSnapshot& snapshot,
     result.stop = ChaseStop::kFixpoint;
     result.complete_rounds = snapshot.next_round;
     result.approx_bytes = state.live_bytes;
+    const uint64_t cap_total =
+        ChaseMemTotalsFromParts(result, vocab_, MemAccounting::kCapacity,
+                                state.memo_key_capacity,
+                                state.prov_inner_capacity)
+            .TrackedTotal();
+    result.peak_bytes = std::max(state.peak_bytes, cap_total);
     return std::move(result);
   }
 
@@ -832,6 +958,103 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
                                       result.stats.TotalInserted()};
 #endif
 
+  // Commit-phase scratch, reused across rounds so big rounds don't pay a
+  // fresh geometric-growth allocation chain every round.  Declared before
+  // the boundary accounting below, which reports it under kScratch.
+  RowBlock pending;
+  std::vector<uint32_t> surviving;
+  std::vector<FactSet::InsertOutcome> outcomes;
+  std::vector<TermId> fn_args_scratch;
+
+  // --- Ledger round-boundary accounting ------------------------------------
+  // At every round boundary (and once on entry) the chase recomputes both
+  // ledger modes from the containers' own bookkeeping: the content total
+  // becomes `live_bytes` (the byte-budget quantity — thread- and
+  // resume-invariant), the capacity total feeds the peak, the
+  // `frontiers.mem.*` gauges, and the frontiers-mem-v1 stream.  The memo
+  // and provenance inner bytes come from RunState's incremental counters;
+  // debug builds assert them against full walks here (the incremental ==
+  // recomputed contract of DESIGN.md §9).
+  const uint64_t mem_run =
+      obs::memhooks::MemEnabled() ? obs::memhooks::BeginMemRun() : 0;
+  auto account_boundary = [&](uint32_t completed_rounds,
+                              bool emit_stream) -> MemTotals {
+    MemTotals cap = ChaseMemTotalsFromParts(
+        result, vocab_, MemAccounting::kCapacity, state.memo_key_capacity,
+        state.prov_inner_capacity);
+    // The chase's own persistent scratch, on top of FactSet's batch
+    // scratch (already under kScratch): thread-dependent, diagnostic only.
+    cap.Add(MemComponent::kScratch,
+            pending.HeapBytes(MemAccounting::kCapacity) +
+                VectorHeapBytes(surviving, MemAccounting::kCapacity) +
+                VectorHeapBytes(outcomes, MemAccounting::kCapacity) +
+                VectorHeapBytes(fn_args_scratch, MemAccounting::kCapacity) +
+                VectorHeapBytes(delta_atoms, MemAccounting::kCapacity) +
+                VectorHeapBytes(delta_terms, MemAccounting::kCapacity));
+    const MemTotals con = ChaseMemTotalsFromParts(
+        result, vocab_, MemAccounting::kContent, state.memo_key_content,
+        state.prov_inner_content);
+    state.live_bytes = con.TrackedTotal();
+    const uint64_t tracked = cap.TrackedTotal();
+    if (tracked > state.peak_bytes) state.peak_bytes = tracked;
+#ifndef NDEBUG
+    // Incremental-vs-recomputed: the counters RunState carries must agree
+    // with a from-scratch walk of the same state, component by component,
+    // in both modes (kScratch excluded — the walk cannot see round-local
+    // buffers).
+    const MemTotals cap_walk =
+        ComputeChaseMemTotals(result, vocab_, MemAccounting::kCapacity);
+    const MemTotals con_walk =
+        ComputeChaseMemTotals(result, vocab_, MemAccounting::kContent);
+    for (size_t c = 0; c < kMemComponentCount; ++c) {
+      if (c == static_cast<size_t>(MemComponent::kScratch)) continue;
+      FRONTIERS_CHECK(
+          cap.bytes[c] == cap_walk.bytes[c] &&
+              con.bytes[c] == con_walk.bytes[c],
+          std::string("chase mem ledger diverged from a full recompute for "
+                      "component '") +
+              MemComponentName(static_cast<MemComponent>(c)) + "'");
+    }
+#endif
+    metrics.mem_total_bytes.Set(static_cast<double>(tracked));
+    metrics.mem_peak_bytes.Set(static_cast<double>(state.peak_bytes));
+    for (size_t c = 0; c < kMemComponentCount; ++c) {
+      metrics.mem_components[c]->Set(static_cast<double>(cap.bytes[c]));
+    }
+    if (emit_stream && mem_run != 0 && obs::memhooks::MemEnabled()) {
+      // Per-predicate attribution rows (component-major, predicate-id
+      // order), then the global components in fixed order — deterministic
+      // values only, so the stream is byte-identical across thread counts.
+      MemLedger ledger;
+      result.facts.AccountLedger(ledger, MemAccounting::kCapacity);
+      for (const MemLedgerRow& row : ledger.rows) {
+        obs::memhooks::EmitMemRow(
+            {mem_run, completed_rounds, MemComponentName(row.component),
+             row.predicate == UINT32_MAX
+                 ? ""
+                 : vocab_.PredicateName(row.predicate).c_str(),
+             row.bytes});
+      }
+      for (MemComponent c :
+           {MemComponent::kVocabTerms, MemComponent::kVocabSkolem,
+            MemComponent::kProvenance, MemComponent::kFrontierMemo}) {
+        if (cap.Get(c) != 0) {
+          obs::memhooks::EmitMemRow(
+              {mem_run, completed_rounds, MemComponentName(c), "",
+               cap.Get(c)});
+        }
+      }
+      obs::memhooks::EmitMemRound({mem_run, completed_rounds,
+                                   result.facts.size(), tracked,
+                                   state.peak_bytes,
+                                   cap.Get(MemComponent::kScratch)});
+    }
+    return cap;
+  };
+  // Initial boundary: the state this call starts from (the input database
+  // for Run, the reconstructed stage for Resume).
+  account_boundary(state.round, true);
+
   // --- Heartbeat plumbing --------------------------------------------------
   // Heartbeats run on the calling thread at round boundaries only, reading
   // committed state; they are pure observation like tracing and profiling.
@@ -856,6 +1079,7 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
         dt > 0 ? static_cast<double>(hb.facts - last_heartbeat_facts) / dt
                : 0.0;
     hb.bytes = live_bytes;
+    hb.peak_bytes = state.peak_bytes;
     hb.elapsed_seconds = Seconds(now - run_start);
     if (options.deadline_seconds > 0) {
       hb.budget_remaining_seconds =
@@ -906,7 +1130,14 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
   auto finish = [&](ChaseStop stop, uint32_t complete_rounds) {
     result.stop = stop;
     result.complete_rounds = complete_rounds;
+    // Recompute the boundary totals unconditionally: an injected-fault
+    // rollback mutates the memo after the last per-round boundary, and the
+    // final figures must describe the state actually returned (asserted
+    // equal to a fresh recompute by tests/mem_test.cc).  No stream row —
+    // the state is the last emitted boundary's.
+    account_boundary(complete_rounds, false);
     result.approx_bytes = live_bytes;
+    result.peak_bytes = state.peak_bytes;
     const double elapsed = Seconds(Clock::now() - run_start);
     result.stats.total_seconds += elapsed;
     metrics.run_seconds.Observe(elapsed);
@@ -954,12 +1185,6 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
 
   uint32_t round = state.round;
   bool atom_budget_hit = false;
-  // Commit-phase scratch, reused across rounds so big rounds don't pay a
-  // fresh geometric-growth allocation chain every round.
-  RowBlock pending;
-  std::vector<uint32_t> surviving;
-  std::vector<FactSet::InsertOutcome> outcomes;
-  std::vector<TermId> fn_args_scratch;
   // Work hint for the small-round serial fallback: the input delta for the
   // first round, then the previous round's matches + staged applications.
   // A pure execution heuristic — it gates *who* computes, never what.
@@ -1351,17 +1576,25 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
                           uint32_t arity) {
       if (out.inserted) {
         ++round_stats.atoms_inserted;
-        live_bytes += ApproxRowBytes(arity);
         result.depth.push_back(round + 1);
         new_delta_atoms.push_back(out.index);
+        // Every Derivation construction below copy-allocates the parents
+        // vector at exactly its size, so one figure serves both ledger
+        // modes (the row/store bytes are recomputed at the boundary).
+        const uint64_t parent_bytes =
+            static_cast<uint64_t>(app.parents.size()) * sizeof(uint32_t);
         if (provenance) {
           Derivation d{app.rule_index, app.parents};
-          live_bytes += ApproxDerivationBytes(d);
+          state.prov_inner_capacity += parent_bytes;
+          state.prov_inner_content += parent_bytes;
           result.first_derivation.push_back(std::move(d));
         }
         if (options.record_all_derivations) {
           Derivation d{app.rule_index, app.parents};
-          live_bytes += ApproxDerivationBytes(d);
+          // The init-list push below copies `d` into a fresh inner vector
+          // of size == capacity == 1.
+          state.prov_inner_capacity += sizeof(Derivation) + parent_bytes;
+          state.prov_inner_content += sizeof(Derivation) + parent_bytes;
           result.all_derivations.push_back({std::move(d)});
         }
         const std::vector<bool>& ex =
@@ -1384,8 +1617,17 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
           }
         }
         if (!duplicate) {
-          live_bytes += ApproxDerivationBytes(d);
+          const uint64_t parent_bytes =
+              static_cast<uint64_t>(d.parents.size()) * sizeof(uint32_t);
+          const size_t cap_before = list.capacity();
           list.push_back(std::move(d));
+          // Content grows by one element; capacity by the geometric step
+          // the push actually took (zero on a non-growing push).
+          state.prov_inner_capacity +=
+              static_cast<uint64_t>(list.capacity() - cap_before) *
+                  sizeof(Derivation) +
+              parent_bytes;
+          state.prov_inner_content += sizeof(Derivation) + parent_bytes;
         }
       }
     };
@@ -1404,13 +1646,19 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
       }
       for (StagedApplication& app : staged) {
         if (!options.record_all_derivations) {
-          const uint64_t key_bytes = ApproxKeyBytes(app.frontier_key);
+          // Measured before the move (the set takes the string's buffer,
+          // capacity and all, so the figures survive the insert intact).
+          const uint64_t key_cap =
+              StringHeapBytes(app.frontier_key, MemAccounting::kCapacity);
+          const uint64_t key_content =
+              StringHeapBytes(app.frontier_key, MemAccounting::kContent);
           if (!result.seen_applications.insert(std::move(app.frontier_key))
                    .second) {
             ++round_stats.deduped;
             continue;
           }
-          live_bytes += key_bytes;
+          state.memo_key_capacity += key_cap;
+          state.memo_key_content += key_content;
         }
         const CommitLayout& layout = commit_layouts_[app.rule_index];
         head_initial.clear();
@@ -1474,13 +1722,17 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
       for (uint32_t s = 0; s < staged.size(); ++s) {
         StagedApplication& app = staged[s];
         if (!options.record_all_derivations) {
-          const uint64_t key_bytes = ApproxKeyBytes(app.frontier_key);
+          const uint64_t key_cap =
+              StringHeapBytes(app.frontier_key, MemAccounting::kCapacity);
+          const uint64_t key_content =
+              StringHeapBytes(app.frontier_key, MemAccounting::kContent);
           if (!result.seen_applications.insert(std::move(app.frontier_key))
                    .second) {
             ++round_stats.deduped;
             continue;
           }
-          live_bytes += key_bytes;
+          state.memo_key_capacity += key_cap;
+          state.memo_key_content += key_content;
         }
         surviving.push_back(s);
       }
@@ -1668,7 +1920,16 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
           const StagedApplication& app = staged[s];
           const std::string key = FrontierKey(app.rule_index, app.bindings);
           if (result.seen_applications.erase(key) > 0) {
-            live_bytes -= ApproxKeyBytes(key);
+            // FrontierKey reproduces the removed key's construction, hence
+            // its exact capacity, so the decrements mirror the inserts.
+            // The memo's bucket array keeps its grown size — the boundary
+            // recompute in finish() reads bucket_count() directly, so the
+            // retained-capacity bytes stay accounted (the historical
+            // under-count this replaces).
+            state.memo_key_capacity -=
+                StringHeapBytes(key, MemAccounting::kCapacity);
+            state.memo_key_content -=
+                StringHeapBytes(key, MemAccounting::kContent);
           }
         }
         return finish(ChaseStop::kInjectedFault, round);
@@ -1716,6 +1977,10 @@ ChaseResult ChaseEngine::RunFromState(RunState state,
       round_stats.critical_path_seconds = serial_part + par_longest;
     }
     phase_span.reset();
+    // Round boundary: roll up both ledger modes, refresh live_bytes/peak
+    // and the gauges, and emit this boundary's stream rows.  Runs before
+    // the atom-budget check below so a partial last round is accounted.
+    round_stats.mem = account_boundary(round + 1, true);
     result.stats.rounds.push_back(round_stats);
 
     // Publish the round to the registry — same numbers as the ChaseStats

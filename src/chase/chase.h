@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "base/fact_set.h"
+#include "base/mem_ledger.h"
 #include "base/vocabulary.h"
 #include "tgd/substitution.h"
 #include "tgd/tgd.h"
@@ -154,6 +155,12 @@ struct ChaseRoundStats {
   /// Batch imbalance: busiest shard's rows over the mean rows per touched
   /// shard (1.0 = perfectly balanced; 0 when nothing was batch-inserted).
   double shard_imbalance = 0.0;
+  /// Ledger snapshot at this round's boundary: capacity-mode bytes per
+  /// component (base/mem_ledger.h), including the chase's own scratch.
+  /// A diagnostic like the timings above — excluded from snapshots and
+  /// parity comparisons — but deterministic across thread counts for
+  /// every component except kScratch (see DESIGN.md §9).
+  MemTotals mem;
 };
 
 /// Aggregated statistics of a chase run (one entry per started round).
@@ -224,8 +231,12 @@ struct ChaseHeartbeat {
   /// Recent insertion rate: atoms added since the previous heartbeat over
   /// the time elapsed since it (the whole run, for the first heartbeat).
   double facts_per_second = 0.0;
-  /// Approximate live chase-state bytes (the max_bytes quantity).
+  /// Approximate live chase-state bytes (the max_bytes quantity;
+  /// content-mode ledger total, see base/mem_ledger.h).
   uint64_t bytes = 0;
+  /// High-water mark of the capacity-mode ledger total over all round
+  /// boundaries of the logical run so far (survives snapshot/resume).
+  uint64_t peak_bytes = 0;
   /// Wall seconds since this Run/Resume call started.
   double elapsed_seconds = 0.0;
   /// Seconds left before ChaseOptions::deadline_seconds trips; negative
@@ -355,10 +366,19 @@ struct ChaseResult {
   std::unordered_map<TermId, uint32_t> birth_atom;
   /// Per-round counters and timings.
   ChaseStats stats;
-  /// Approximate bytes of live chase state at the end of the run — the
-  /// quantity ChaseOptions::max_bytes budgets.  Deterministic for a given
-  /// (db, theory, options) triple.
+  /// Bytes of live chase state at the end of the run — the quantity
+  /// ChaseOptions::max_bytes budgets.  This is the *content-mode* ledger
+  /// total (base/mem_ledger.h): a pure function of the logical state, so
+  /// it is identical across thread counts *and* across interrupted/resumed
+  /// reconstructions of the same state (tests/parity_test.cc relies on
+  /// both).
   size_t approx_bytes = 0;
+  /// High-water mark of the *capacity-mode* ledger total (what the
+  /// containers actually reserved, scratch excluded) over all round
+  /// boundaries.  Deterministic across thread counts; carried through
+  /// snapshots so a resumed run reports the peak of the whole logical
+  /// run, not just the tail.
+  size_t peak_bytes = 0;
   /// The semi-oblivious dedup memo: frontier keys (rule index + head-
   /// universal projection) of every application committed so far.  Carried
   /// in the result so snapshots can resume with identical per-round
@@ -377,6 +397,16 @@ struct ChaseResult {
   /// Depth of the first atom equal to `atom`, or nullopt if absent.
   std::optional<uint32_t> DepthOf(const Atom& atom) const;
 };
+
+/// Recomputes the full memory ledger of a chase state from scratch: the
+/// fact store, the vocabulary, provenance, and the frontier memo (every
+/// component except kScratch, which belongs to an engine's in-flight
+/// round).  This is the slow, authoritative walk the engine's incremental
+/// round-boundary accounting is asserted against in debug builds; tests
+/// and tools use it to audit `ChaseResult::approx_bytes` (content mode)
+/// and the stream's totals (capacity mode).
+MemTotals ComputeChaseMemTotals(const ChaseResult& result,
+                                const Vocabulary& vocab, MemAccounting mode);
 
 /// The semi-oblivious Skolem chase of Definition 6.
 ///

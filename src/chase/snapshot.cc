@@ -15,7 +15,12 @@ namespace frontiers {
 namespace {
 
 constexpr char kMagic[4] = {'F', 'R', 'S', 'N'};
-constexpr uint16_t kVersion = 1;
+// v2 added the content-mode ledger total (approx_bytes).  Capacity-mode
+// figures (per-round MemTotals, peak_bytes) are deliberately absent: they
+// depend on the shard count, so serializing them would break the format's
+// canonicality over logical chase state.  Older snapshots are rejected
+// (the codec has no compatibility promise yet; see tests/corpus).
+constexpr uint16_t kVersion = 2;
 
 // --- Little-endian encode helpers -----------------------------------------
 
@@ -211,6 +216,8 @@ Result<ChaseSnapshot> MakeSnapshot(const Vocabulary& vocab,
   std::sort(snap.seen_applications.begin(), snap.seen_applications.end());
   snap.round_stats = result.stats.rounds;
   snap.total_seconds = result.stats.total_seconds;
+  snap.approx_bytes = result.approx_bytes;
+  snap.peak_bytes = result.peak_bytes;
 
   snap.variant = options.variant;
   snap.semi_naive = options.semi_naive;
@@ -301,6 +308,7 @@ std::string EncodeSnapshot(const ChaseSnapshot& snapshot) {
     PutDouble(out, r.commit_seconds);
   }
   PutDouble(out, snapshot.total_seconds);
+  PutU64(out, snapshot.approx_bytes);
 
   PutU8(out, static_cast<uint8_t>(snapshot.variant));
   PutU8(out, snapshot.semi_naive ? 1 : 0);
@@ -312,6 +320,15 @@ std::string EncodeSnapshot(const ChaseSnapshot& snapshot) {
   obs::DefaultRegistry()
       .GetCounter("frontiers.snapshot.encoded_bytes")
       .Add(out.size());
+  // The ledger figures of the encoded run, for operators watching a
+  // checkpoint: the serialized (content-mode) total and the in-process
+  // capacity peak that the wire format deliberately leaves out.
+  obs::DefaultRegistry()
+      .GetGauge("frontiers.snapshot.approx_bytes")
+      .Set(static_cast<double>(snapshot.approx_bytes));
+  obs::DefaultRegistry()
+      .GetGauge("frontiers.snapshot.peak_bytes")
+      .Set(static_cast<double>(snapshot.peak_bytes));
   return out;
 }
 
@@ -510,6 +527,7 @@ Result<ChaseSnapshot> DecodeSnapshot(std::string_view bytes) {
     snap.round_stats.push_back(r);
   }
   snap.total_seconds = in.Double();
+  snap.approx_bytes = in.U64();
 
   const uint8_t variant = in.U8();
   if (!in.failed && variant > static_cast<uint8_t>(ChaseVariant::kRestricted)) {

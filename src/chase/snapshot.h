@@ -71,6 +71,20 @@ struct ChaseSnapshot {
   std::vector<std::string> seen_applications;               // sorted
   std::vector<ChaseRoundStats> round_stats;
   double total_seconds = 0.0;
+  /// Content-mode ledger total at the snapshot boundary.  Resume recomputes
+  /// the same figure from the reconstructed state and asserts byte equality
+  /// (the E18 ledger-equivalence check): content accounting is a pure
+  /// function of logical state, so any disagreement means an accounting bug.
+  uint64_t approx_bytes = 0;
+  /// Capacity-mode high-water mark over all round boundaries of the source
+  /// run, carried through so a same-process resume's peak covers the whole
+  /// logical run rather than restarting from zero.  Deliberately *not*
+  /// serialized: capacity figures depend on the shard count and the
+  /// reconstruction path, and the wire format is canonical over logical
+  /// chase state only (EncodeSnapshot's doc; shard_test pins this down).
+  /// A decoded snapshot therefore resumes with peak restarting from the
+  /// reconstructed store's footprint.
+  uint64_t peak_bytes = 0;
 
   // --- Run fingerprint ----------------------------------------------------
   ChaseVariant variant = ChaseVariant::kSemiOblivious;

@@ -52,8 +52,13 @@ struct BenchCompareOptions {
   /// ±20% between idle runs at any magnitude (adjacent thread counts in
   /// one sweep routinely move in opposite directions).  A real lock
   /// convoy still trips the gate through the wall/commit metrics it
-  /// inflates.
-  std::vector<std::string> diagnostic_metrics = {"shard_wait", "shard_hold"};
+  /// inflates.  `rss` covers the sampled `rss_bytes` figures benches may
+  /// report alongside the deterministic ledger totals: resident size
+  /// depends on the allocator's page reuse and the machine, so it is
+  /// informative but never a gate (the deterministic `mem_*` counters
+  /// are what a memory regression shows up in).
+  std::vector<std::string> diagnostic_metrics = {"shard_wait", "shard_hold",
+                                                 "rss"};
 };
 
 /// One joined (row, seconds-metric) pair with both measurements.

@@ -1,0 +1,158 @@
+#include "obs/mem_stream.h"
+
+#include <cstdio>
+#include <mutex>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace frontiers::obs {
+
+namespace {
+
+using memhooks::MemRoundRecord;
+using memhooks::MemRowRecord;
+
+struct SessionState {
+  std::mutex mu;
+  bool active = false;
+  std::string path;
+  std::FILE* file = nullptr;
+  uint64_t next_run = 1;
+};
+
+SessionState& State() {
+  static SessionState* state = new SessionState();  // leaked: program-lifetime
+  return *state;
+}
+
+uint64_t PageBytes() {
+#if defined(__linux__)
+  const long page = sysconf(_SC_PAGESIZE);
+  return page > 0 ? static_cast<uint64_t>(page) : 0;
+#else
+  return 0;
+#endif
+}
+
+// Resident set size sampled from /proc/self/statm (field 2, in pages).
+// Inherently non-deterministic — the allocator, the loader and every other
+// subsystem contribute — which is exactly why it only ever appears in diag
+// rows.  Returns 0 where the proc file is unavailable.
+uint64_t SampleRssBytes() {
+#if defined(__linux__)
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  unsigned long long total_pages = 0, resident_pages = 0;
+  const int parsed =
+      std::fscanf(statm, "%llu %llu", &total_pages, &resident_pages);
+  std::fclose(statm);
+  if (parsed != 2) return 0;
+  return resident_pages * PageBytes();
+#else
+  return 0;
+#endif
+}
+
+uint64_t OnMemRun() {
+  SessionState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.active) return 0;  // raced a Stop(); the run stays silent
+  return state.next_run++;
+}
+
+void OnMemRow(const MemRowRecord& record) {
+  SessionState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.active || state.file == nullptr) return;
+  std::fprintf(state.file,
+               "{\"kind\":\"component\",\"run\":%llu,\"round\":%llu,"
+               "\"component\":\"%s\",\"predicate\":\"%s\",\"bytes\":%llu}\n",
+               static_cast<unsigned long long>(record.run),
+               static_cast<unsigned long long>(record.round), record.component,
+               record.predicate,
+               static_cast<unsigned long long>(record.bytes));
+}
+
+void OnMemRound(const MemRoundRecord& record) {
+  SessionState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.active || state.file == nullptr) return;
+  std::fprintf(state.file,
+               "{\"kind\":\"round\",\"run\":%llu,\"round\":%llu,"
+               "\"atoms\":%llu,\"total_bytes\":%llu,\"peak_bytes\":%llu}\n",
+               static_cast<unsigned long long>(record.run),
+               static_cast<unsigned long long>(record.round),
+               static_cast<unsigned long long>(record.atoms),
+               static_cast<unsigned long long>(record.total_bytes),
+               static_cast<unsigned long long>(record.peak_bytes));
+  std::fprintf(state.file,
+               "{\"kind\":\"diag\",\"run\":%llu,\"round\":%llu,"
+               "\"rss_bytes\":%llu,\"scratch_bytes\":%llu}\n",
+               static_cast<unsigned long long>(record.run),
+               static_cast<unsigned long long>(record.round),
+               static_cast<unsigned long long>(SampleRssBytes()),
+               static_cast<unsigned long long>(record.scratch_bytes));
+}
+
+}  // namespace
+
+Status MemStreamSession::Start(std::string path) {
+  SessionState& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.active) {
+      return Status::Error("mem-stream session already active (writing to '" +
+                           state.path + "')");
+    }
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      return Status::Error("cannot open mem-stream file '" + path +
+                           "' for writing");
+    }
+    std::fprintf(file,
+                 "{\"schema\":\"frontiers-mem-v1\",\"kind\":\"meta\","
+                 "\"page_bytes\":%llu}\n",
+                 static_cast<unsigned long long>(PageBytes()));
+    state.active = true;
+    state.path = std::move(path);
+    state.file = file;
+    state.next_run = 1;
+  }
+  // Hooks first (release), then the mask bit: an emitter that saw the bit
+  // is guaranteed non-null targets.
+  memhooks::SetMemHooks(&OnMemRun, &OnMemRow, &OnMemRound);
+  internal::g_span_mask.fetch_or(internal::kSpanMem,
+                                 std::memory_order_release);
+  return Status::Ok();
+}
+
+Status MemStreamSession::Stop() {
+  SessionState& state = State();
+  internal::g_span_mask.fetch_and(~internal::kSpanMem,
+                                  std::memory_order_relaxed);
+  std::FILE* file = nullptr;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.active) return Status::Error("no mem-stream session active");
+    state.active = false;
+    file = state.file;
+    state.file = nullptr;
+    path = std::move(state.path);
+  }
+  const bool write_ok = std::ferror(file) == 0;
+  if (std::fclose(file) != 0 || !write_ok) {
+    return Status::Error("error writing mem-stream file '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+bool MemStreamSession::Active() {
+  SessionState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.active;
+}
+
+}  // namespace frontiers::obs

@@ -1,0 +1,54 @@
+#ifndef FRONTIERS_OBS_MEM_STREAM_H_
+#define FRONTIERS_OBS_MEM_STREAM_H_
+
+#include <string>
+
+#include "base/obs_hooks.h"
+#include "base/status.h"
+
+namespace frontiers::obs {
+
+/// A process-global session recording the chase's round-boundary memory
+/// ledger (the memhooks in base/obs_hooks.h) and writing it as a
+/// `frontiers-mem-v1` JSONL file.  At most one session is active at a time.
+///
+/// File format: one JSON object per line.  The first line is a meta row
+///   {"schema":"frontiers-mem-v1","kind":"meta","page_bytes":<u64>}
+/// Then, per chase round boundary, in emission order:
+///   {"kind":"component","run":R,"round":N,"component":"columns",
+///    "predicate":"E","bytes":B}         component-major, predicate-id order
+///   {"kind":"round","run":R,"round":N,"atoms":A,"total_bytes":T,
+///    "peak_bytes":P}                    T = sum of the component rows
+///   {"kind":"diag","run":R,"round":N,"rss_bytes":S,"scratch_bytes":C}
+/// `run` is a session-local ordinal (1-based) claimed by each chase run at
+/// its first boundary; `round` is the number of completed rounds and is
+/// strictly increasing within a run.  Component and round rows carry only
+/// capacity-mode ledger figures, which the chase's merge-ordered commit
+/// makes deterministic, so those lines are byte-identical across thread
+/// counts (tests/mem_test.cc).  The diag row is the escape hatch for the
+/// two genuinely non-deterministic figures: `rss_bytes` sampled from
+/// /proc/self/statm (0 where unavailable) and the thread-dependent
+/// `scratch_bytes` — consumers strip diag rows before comparing streams.
+///
+/// Unlike the trace/task streams there are no per-thread buffers: the
+/// chase accounts at round boundaries, which are quiescent points on the
+/// coordinating thread, so the hooks write straight to the file under one
+/// mutex.
+class MemStreamSession {
+ public:
+  /// Starts the global session: opens `path`, writes the meta row, and
+  /// installs the mem hooks.  Fails if a session is already active or the
+  /// file cannot be opened.
+  static Status Start(std::string path);
+
+  /// Stops the active session and closes the file.  Returns an error if no
+  /// session is active or writes failed.
+  static Status Stop();
+
+  /// True while a session is active.
+  static bool Active();
+};
+
+}  // namespace frontiers::obs
+
+#endif  // FRONTIERS_OBS_MEM_STREAM_H_

@@ -1,0 +1,302 @@
+// Renders a `frontiers-mem-v1` stream (a chase run under --mem=<file>) as
+// a human-readable memory report:
+//
+//   mem_report <file.jsonl> [--check] [--budget=<bytes>] [--top=<n>]
+//              [--min-coverage=<frac>]
+//
+// For every run in the stream it prints the component breakdown over
+// rounds, the top predicates by final-round bytes ("where the bytes
+// live"), the growth rate over the closing rounds with — under --budget —
+// the projected budget-exhaustion round, and the ledger-vs-RSS coverage:
+// how much of the process's resident-size growth the ledger accounts for.
+// Coverage uses deltas between the first and last boundary, so the
+// allocator/loader baseline cancels out; it is inherently noisy on small
+// runs and is only gated when --min-coverage is given explicitly.
+//
+// --check turns consistency violations into exit code 1 for CI: a stream
+// with no round rows, component rows that do not sum to their round's
+// total, a peak below a total, or rounds that fail to increase within a
+// run all fail the gate.  Without --check the same findings print as
+// warnings and the exit code stays 0.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace frontiers {
+namespace {
+
+struct RoundInfo {
+  double atoms = 0;
+  double total = 0;
+  double peak = 0;
+  double rss = 0;
+  double scratch = 0;
+  bool has_round_row = false;
+  // component -> bytes (predicate rows folded in), and the per-predicate
+  // attributions for the top-predicates table.
+  std::map<std::string, double> components;
+  std::map<std::pair<std::string, std::string>, double> predicates;
+};
+
+struct RunInfo {
+  // round number -> info, ordered so "first" and "last" boundary are the
+  // begin/rbegin of the map.
+  std::map<double, RoundInfo> rounds;
+};
+
+std::string Human(double bytes) {
+  char buffer[32];
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  std::snprintf(buffer, sizeof(buffer), unit == 0 ? "%.0f %s" : "%.1f %s",
+                bytes, units[unit]);
+  return buffer;
+}
+
+int Report(const std::string& path, bool check, double budget, size_t top_n,
+           double min_coverage) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "mem_report: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::map<double, RunInfo> runs;
+  std::string line;
+  size_t line_no = 0;
+  int violations = 0;
+  auto violation = [&](const std::string& what) {
+    std::fprintf(stderr, "mem_report: %s:%zu: %s\n", path.c_str(), line_no,
+                 what.c_str());
+    ++violations;
+  };
+  bool saw_meta = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Result<obs::JsonValue> parsed = obs::ParseJson(line);
+    if (!parsed.ok()) {
+      violation(parsed.message());
+      continue;
+    }
+    const obs::JsonValue& row = parsed.value();
+    const obs::JsonValue* kind = row.IsObject() ? row.Find("kind") : nullptr;
+    if (kind == nullptr || !kind->IsString()) {
+      violation("row without a kind");
+      continue;
+    }
+    auto number = [&](const char* key) {
+      const obs::JsonValue* value = row.Find(key);
+      return value != nullptr && value->IsNumber() ? value->number : 0.0;
+    };
+    if (kind->string == "meta") {
+      saw_meta = true;
+      continue;
+    }
+    RoundInfo& info = runs[number("run")].rounds[number("round")];
+    if (kind->string == "component") {
+      const obs::JsonValue* component = row.Find("component");
+      const obs::JsonValue* predicate = row.Find("predicate");
+      if (component == nullptr || !component->IsString()) {
+        violation("component row without a component name");
+        continue;
+      }
+      const double bytes = number("bytes");
+      info.components[component->string] += bytes;
+      if (predicate != nullptr && predicate->IsString() &&
+          !predicate->string.empty()) {
+        info.predicates[{component->string, predicate->string}] += bytes;
+      }
+    } else if (kind->string == "round") {
+      info.has_round_row = true;
+      info.atoms = number("atoms");
+      info.total = number("total_bytes");
+      info.peak = number("peak_bytes");
+    } else if (kind->string == "diag") {
+      info.rss = number("rss_bytes");
+      info.scratch = number("scratch_bytes");
+    } else {
+      violation("unexpected kind '" + kind->string + "'");
+    }
+  }
+  line_no = 0;  // subsequent violations are stream-level, not line-level
+  if (!saw_meta) violation("missing frontiers-mem-v1 meta row");
+
+  size_t total_rounds = 0;
+  for (auto& [run, run_info] : runs) {
+    std::printf("== run %.0f: %zu round boundar%s ==\n", run,
+                run_info.rounds.size(),
+                run_info.rounds.size() == 1 ? "y" : "ies");
+    // Consistency sweep first, so --check findings are attached to a run.
+    for (const auto& [round, info] : run_info.rounds) {
+      if (!info.has_round_row) {
+        violation("run " + std::to_string(run) + " round " +
+                  std::to_string(round) + ": component rows without a round "
+                  "summary row");
+        continue;
+      }
+      double sum = 0;
+      for (const auto& [component, bytes] : info.components) sum += bytes;
+      if (sum != info.total) {
+        violation("run " + std::to_string(run) + " round " +
+                  std::to_string(round) + ": component rows sum to " +
+                  std::to_string(sum) + ", total_bytes is " +
+                  std::to_string(info.total));
+      }
+      if (info.peak < info.total) {
+        violation("run " + std::to_string(run) + " round " +
+                  std::to_string(round) + ": peak_bytes below total_bytes");
+      }
+      ++total_rounds;
+    }
+    if (run_info.rounds.empty()) continue;
+
+    // Component breakdown over rounds.
+    std::map<std::string, double> final_components =
+        run_info.rounds.rbegin()->second.components;
+    std::printf("%8s %10s %10s", "round", "atoms", "total");
+    for (const auto& [component, bytes] : final_components) {
+      std::printf(" %12s", component.c_str());
+    }
+    std::printf(" %10s\n", "scratch");
+    for (const auto& [round, info] : run_info.rounds) {
+      std::printf("%8.0f %10.0f %10s", round, info.atoms,
+                  Human(info.total).c_str());
+      for (const auto& [component, unused] : final_components) {
+        auto it = info.components.find(component);
+        std::printf(" %12s",
+                    Human(it == info.components.end() ? 0 : it->second)
+                        .c_str());
+      }
+      std::printf(" %10s\n", Human(info.scratch).c_str());
+    }
+    const RoundInfo& first = run_info.rounds.begin()->second;
+    const RoundInfo& last = run_info.rounds.rbegin()->second;
+    std::printf("peak %s\n", Human(last.peak).c_str());
+
+    // Where the bytes live: top predicates at the final boundary.
+    std::vector<std::pair<double, std::pair<std::string, std::string>>> preds;
+    for (const auto& [key, bytes] : last.predicates) {
+      preds.push_back({bytes, key});
+    }
+    std::sort(preds.rbegin(), preds.rend());
+    if (!preds.empty()) {
+      std::printf("top predicates (final boundary):\n");
+      for (size_t i = 0; i < preds.size() && i < top_n; ++i) {
+        std::printf("  %-20s %-12s %10s (%.1f%%)\n",
+                    preds[i].second.second.c_str(),
+                    preds[i].second.first.c_str(),
+                    Human(preds[i].first).c_str(),
+                    last.total > 0 ? 100.0 * preds[i].first / last.total : 0);
+      }
+    }
+
+    // Growth rate over the closing rounds (up to the last 5 boundaries),
+    // and the projected budget-exhaustion round under --budget.
+    if (run_info.rounds.size() >= 2) {
+      auto it = run_info.rounds.rbegin();
+      double tail_round = it->first, tail_total = it->second.total;
+      for (size_t back = 0; back + 1 < 5 && std::next(it) != run_info.rounds.rend();
+           ++back) {
+        ++it;
+      }
+      const double span = tail_round - it->first;
+      const double growth =
+          span > 0 ? (tail_total - it->second.total) / span : 0;
+      std::printf("growth %s/round over the last %.0f round(s)\n",
+                  Human(growth).c_str(), span);
+      if (budget > 0) {
+        if (tail_total >= budget) {
+          std::printf("budget %s already exceeded at round %.0f\n",
+                      Human(budget).c_str(), tail_round);
+        } else if (growth > 0) {
+          std::printf("budget %s projected exhausted at round %.0f\n",
+                      Human(budget).c_str(),
+                      tail_round + (budget - tail_total) / growth);
+        } else {
+          std::printf("budget %s never exhausted at current growth\n",
+                      Human(budget).c_str());
+        }
+      }
+    }
+
+    // Coverage: how much of the RSS growth between the first and last
+    // boundary the ledger (tracked total + scratch) explains.  Deltas
+    // cancel the allocator/loader baseline; tiny runs stay noisy.
+    const double ledger_delta =
+        (last.total + last.scratch) - (first.total + first.scratch);
+    const double rss_delta = last.rss - first.rss;
+    if (rss_delta > 0) {
+      const double coverage = ledger_delta / rss_delta;
+      std::printf("coverage: ledger explains %.1f%% of the %s RSS growth\n",
+                  100.0 * coverage, Human(rss_delta).c_str());
+      if (min_coverage > 0 && coverage < min_coverage) {
+        violation("run " + std::to_string(run) + ": coverage " +
+                  std::to_string(coverage) + " below the --min-coverage " +
+                  "gate " + std::to_string(min_coverage));
+      }
+    } else {
+      std::printf("coverage: no RSS growth between boundaries%s\n",
+                  last.rss == 0 ? " (rss unavailable)" : "");
+    }
+    std::printf("\n");
+  }
+
+  if (total_rounds == 0) violation("no round rows in stream");
+  if (violations > 0) {
+    std::fprintf(stderr, "mem_report: %d finding(s)%s\n", violations,
+                 check ? "" : " (advisory; pass --check to gate)");
+    return check ? 1 : 0;
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mem_report <file.jsonl> [--check] [--budget=<bytes>] "
+               "[--top=<n>] [--min-coverage=<frac>]\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace frontiers
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  bool check = false;
+  double budget = 0;
+  size_t top_n = 10;
+  double min_coverage = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strncmp(argv[i], "--budget=", 9) == 0) {
+      budget = std::atof(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--top=", 6) == 0) {
+      top_n = static_cast<size_t>(std::atoi(argv[i] + 6));
+    } else if (std::strncmp(argv[i], "--min-coverage=", 15) == 0) {
+      min_coverage = std::atof(argv[i] + 15);
+    } else if (argv[i][0] == '-') {
+      return frontiers::Usage();
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return frontiers::Usage();
+    }
+  }
+  if (path == nullptr) return frontiers::Usage();
+  return frontiers::Report(path, check, budget, top_n, min_coverage);
+}

@@ -4,6 +4,7 @@
 //
 //   validate_telemetry --trace <file.json>      Chrome trace-event file
 //   validate_telemetry --tasks <file.jsonl>     worker-pool task stream
+//   validate_telemetry --mem <file.jsonl>       round-boundary memory ledger
 //   validate_telemetry --bench <file.json>      bench JSONL rows
 //   validate_telemetry --heartbeat <file.json>  chase heartbeat JSONL
 //   validate_telemetry --metrics <file.json>    metrics-registry snapshot
@@ -364,8 +365,8 @@ int ValidateHeartbeat(const std::string& path) {
         schema->string != "frontiers-heartbeat-v1") {
       return fail("missing or unknown schema (want frontiers-heartbeat-v1)");
     }
-    for (const char* key :
-         {"round", "facts", "facts_per_sec", "bytes", "elapsed_seconds"}) {
+    for (const char* key : {"round", "facts", "facts_per_sec", "bytes",
+                            "peak_bytes", "elapsed_seconds"}) {
       const obs::JsonValue* value = beat.Find(key);
       if (value == nullptr || !value->IsNumber()) {
         return fail(std::string("missing numeric field '") + key + "'");
@@ -580,10 +581,143 @@ int ValidateFolded(const std::string& path) {
   return 0;
 }
 
+// --mem: the frontiers-mem-v1 JSONL stream a MemStreamSession writes
+// (obs/mem_stream.h).  Line 1 is the meta row; then, per chase round
+// boundary, component rows followed by their round summary row and a diag
+// row.  Strict checks: every byte figure is a non-negative number, run ids
+// are non-decreasing, rounds are strictly increasing within a run, every
+// round row's total_bytes equals the sum of its component rows exactly,
+// peak_bytes never drops below total_bytes, and no component row is left
+// dangling without a round summary.
+int ValidateMem(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "mem: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::string line;
+  size_t line_no = 0, rounds = 0, components = 0, diags = 0;
+  bool saw_meta = false;
+  // Component bytes accumulated since the last round row, keyed by
+  // (run, round); the matching round row consumes the entry.
+  std::map<std::pair<double, double>, double> pending_components;
+  std::map<double, double> last_round;  // run -> last round-row round
+  double last_run = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fail = [&](const std::string& what) {
+      std::fprintf(stderr, "mem: %s:%zu: %s\n", path.c_str(), line_no,
+                   what.c_str());
+      return 1;
+    };
+    Result<obs::JsonValue> parsed = obs::ParseJson(line);
+    if (!parsed.ok()) return fail(parsed.message());
+    const obs::JsonValue& row = parsed.value();
+    if (!row.IsObject()) return fail("row is not an object");
+    const obs::JsonValue* kind = row.Find("kind");
+    if (kind == nullptr || !kind->IsString()) return fail("missing kind");
+    auto numbers = [&](std::initializer_list<const char*> keys,
+                       auto&& get) -> bool {
+      for (const char* key : keys) {
+        const obs::JsonValue* value = row.Find(key);
+        if (value == nullptr || !value->IsNumber() || value->number < 0) {
+          return false;
+        }
+        get(key, value->number);
+      }
+      return true;
+    };
+    if (!saw_meta) {
+      const obs::JsonValue* schema = row.Find("schema");
+      if (schema == nullptr || !schema->IsString() ||
+          schema->string != "frontiers-mem-v1") {
+        return fail("first row must carry schema frontiers-mem-v1");
+      }
+      if (kind->string != "meta") return fail("first row must be the meta row");
+      if (!numbers({"page_bytes"}, [](const char*, double) {})) {
+        return fail("meta row needs a non-negative numeric page_bytes");
+      }
+      saw_meta = true;
+      continue;
+    }
+    if (kind->string == "component") {
+      std::map<std::string, double> f;
+      if (!numbers({"run", "round", "bytes"},
+                   [&](const char* key, double v) { f[key] = v; })) {
+        return fail("component row needs non-negative numeric fields");
+      }
+      const obs::JsonValue* component = row.Find("component");
+      if (component == nullptr || !component->IsString() ||
+          component->string.empty()) {
+        return fail("component row needs a non-empty component name");
+      }
+      const obs::JsonValue* predicate = row.Find("predicate");
+      if (predicate == nullptr || !predicate->IsString()) {
+        return fail("component row needs a string predicate (may be empty)");
+      }
+      pending_components[{f["run"], f["round"]}] += f["bytes"];
+      ++components;
+    } else if (kind->string == "round") {
+      std::map<std::string, double> f;
+      if (!numbers({"run", "round", "atoms", "total_bytes", "peak_bytes"},
+                   [&](const char* key, double v) { f[key] = v; })) {
+        return fail("round row needs non-negative numeric fields");
+      }
+      if (f["run"] < last_run) return fail("run ids go backwards");
+      last_run = f["run"];
+      auto [it, first] = last_round.emplace(f["run"], f["round"]);
+      if (!first) {
+        if (f["round"] <= it->second) {
+          return fail("rounds not strictly increasing within run");
+        }
+        it->second = f["round"];
+      }
+      if (f["peak_bytes"] < f["total_bytes"]) {
+        return fail("peak_bytes below total_bytes");
+      }
+      auto pending = pending_components.find({f["run"], f["round"]});
+      const double sum =
+          pending == pending_components.end() ? 0 : pending->second;
+      if (sum != f["total_bytes"]) {
+        return fail("component rows sum to " + std::to_string(sum) +
+                    " but total_bytes is " + std::to_string(f["total_bytes"]));
+      }
+      if (pending != pending_components.end()) {
+        pending_components.erase(pending);
+      }
+      ++rounds;
+    } else if (kind->string == "diag") {
+      if (!numbers({"run", "round", "rss_bytes", "scratch_bytes"},
+                   [](const char*, double) {})) {
+        return fail("diag row needs non-negative numeric fields");
+      }
+      ++diags;
+    } else {
+      return fail("unexpected kind (want meta, component, round, or diag)");
+    }
+  }
+  if (!saw_meta) {
+    std::fprintf(stderr, "mem: %s: missing meta row\n", path.c_str());
+    return 1;
+  }
+  if (!pending_components.empty()) {
+    std::fprintf(stderr,
+                 "mem: %s: %zu (run, round) group(s) of component rows have "
+                 "no round summary row\n",
+                 path.c_str(), pending_components.size());
+    return 1;
+  }
+  std::printf("mem: %s ok (%zu rounds, %zu component rows, %zu diag rows)\n",
+              path.c_str(), rounds, components, diags);
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: validate_telemetry --trace <file.json> ...\n"
                "       validate_telemetry --tasks <file.jsonl> ...\n"
+               "       validate_telemetry --mem <file.jsonl> ...\n"
                "       validate_telemetry --bench <file.json> ...\n"
                "       validate_telemetry --heartbeat <file.json> ...\n"
                "       validate_telemetry --metrics <file.json> ...\n"
@@ -604,6 +738,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 ||
         std::strcmp(argv[i], "--tasks") == 0 ||
+        std::strcmp(argv[i], "--mem") == 0 ||
         std::strcmp(argv[i], "--bench") == 0 ||
         std::strcmp(argv[i], "--heartbeat") == 0 ||
         std::strcmp(argv[i], "--metrics") == 0 ||
@@ -618,6 +753,8 @@ int main(int argc, char** argv) {
       failures += frontiers::ValidateTrace(argv[i]);
     } else if (std::strcmp(mode, "--tasks") == 0) {
       failures += frontiers::ValidateTasks(argv[i]);
+    } else if (std::strcmp(mode, "--mem") == 0) {
+      failures += frontiers::ValidateMem(argv[i]);
     } else if (std::strcmp(mode, "--bench") == 0) {
       failures += frontiers::ValidateBench(argv[i]);
     } else if (std::strcmp(mode, "--heartbeat") == 0) {
